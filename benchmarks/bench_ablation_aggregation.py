@@ -1,0 +1,29 @@
+"""ABL-AGG — Eq. (5) aggregation-mode ablation (DESIGN.md).
+
+Runs uniform sampling under the four aggregation realizations:
+``fedavg`` (equal participant weights), ``delta`` (unbiased IPW update
+aggregation, the Lemma-1 form), ``normalized`` and ``model`` (the
+literal raw-model IPW sum, whose realized weights only sum to 1 in
+expectation — the §III-B.2 instability).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.experiments import ablations
+
+
+def test_ablation_aggregation(benchmark, preset, repeats):
+    def once():
+        return ablations.run_aggregation_ablation(preset=preset, repeats=repeats)
+
+    report = benchmark.pedantic(once, rounds=1, iterations=1)
+    save_report("ablation_aggregation", report.render())
+    for label, steps, acc in report.rows:
+        benchmark.extra_info[label] = {"steps": steps, "final_accuracy": acc}
+
+    # The literal Eq. (5) must be no more accurate than the stable modes
+    # (it multiplies the model by a fluctuating weight sum every step).
+    fedavg_acc = next(acc for lbl, _s, acc in report.rows if "fedavg" in lbl)
+    model_acc = next(acc for lbl, _s, acc in report.rows if "model" in lbl)
+    assert model_acc <= fedavg_acc + 0.05

@@ -1,0 +1,23 @@
+"""ABL-SMOOTH — transfer-function (Eq. (17)) ablation (DESIGN.md).
+
+Sweeps the (α, β) control coefficients and compares against disabling
+the smoothing entirely (raw Remark-2 proportional allocation).  §III-B.2
+motivates S(·) as variance protection for the inverse-probability
+aggregation; under the practical ``fedavg`` weighting the raw allocation
+is typically fastest, which this ablation quantifies.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.experiments import ablations
+
+
+def test_ablation_smoothing(benchmark, preset, repeats):
+    def once():
+        return ablations.run_smoothing_ablation(preset=preset, repeats=repeats)
+
+    report = benchmark.pedantic(once, rounds=1, iterations=1)
+    save_report("ablation_smoothing", report.render())
+    for label, steps, acc in report.rows:
+        benchmark.extra_info[label] = {"steps": steps, "final_accuracy": acc}

@@ -1,0 +1,21 @@
+"""ABL-UCB — experience-updating design ablation (DESIGN.md).
+
+Compares MACH's UCB exploitation window (``recent`` vs the literal
+Eq.-(15) ``lifetime`` max) against the MACH-P oracle (true norms, no
+estimation) and uniform sampling (no experience at all).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.experiments import ablations
+
+
+def test_ablation_ucb(benchmark, preset, repeats):
+    def once():
+        return ablations.run_ucb_ablation(preset=preset, repeats=repeats)
+
+    report = benchmark.pedantic(once, rounds=1, iterations=1)
+    save_report("ablation_ucb", report.render())
+    for label, steps, acc in report.rows:
+        benchmark.extra_info[label] = {"steps": steps, "final_accuracy": acc}

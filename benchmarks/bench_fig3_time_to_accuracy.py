@@ -1,0 +1,37 @@
+"""Figure 3 — time-to-accuracy performance over all learning tasks.
+
+Regenerates the paper's headline comparison: accuracy-vs-time-step
+curves for MACH / MACH-P / US / CS / SS on the three image tasks, and
+the percentage of time steps MACH saves against the best basic sampler
+(the paper reports 25.00%–56.86%).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_repeats, bench_tasks, save_report
+from repro.experiments import fig3
+
+
+@pytest.mark.parametrize("task", bench_tasks())
+def test_fig3_task(benchmark, task, preset, repeats):
+    def once():
+        return fig3.run(preset=preset, tasks=(task,), repeats=repeats)
+
+    report = benchmark.pedantic(once, rounds=1, iterations=1)
+    comparison = report.reports[task]
+    save_report(f"fig3_{task}", report.render())
+
+    # Shape assertions (weak, seed-robust): every sampler trains, and
+    # MACH reaches the target whenever any basic sampler does.
+    for name, runs in comparison.results.items():
+        for run in runs:
+            assert run.history.final_accuracy() > run.history.accuracy[0]
+    mach_time = comparison.mean_time_to_accuracy("mach")
+    _base_name, base_time = comparison.best_baseline()
+    if base_time is not None:
+        assert mach_time is not None, "MACH missed a target a baseline reached"
+    benchmark.extra_info["mach_steps"] = mach_time
+    benchmark.extra_info["best_baseline_steps"] = base_time
+    benchmark.extra_info["mach_savings_percent"] = comparison.mach_savings_percent()

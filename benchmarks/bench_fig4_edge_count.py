@@ -1,0 +1,33 @@
+"""Figure 4 — steps to target accuracy under different edge counts.
+
+The paper's finding: MACH wins at every edge count, and its improvement
+over the best basic sampler shrinks monotonically as edges decrease
+(HFL degenerates toward flat FL, where per-edge strategies matter less).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.experiments import fig4
+
+
+def test_fig4_edge_count(benchmark, preset, repeats):
+    def once():
+        return fig4.run(
+            preset=preset, tasks=("mnist",), edge_counts=(2, 5, 10), repeats=repeats
+        )
+
+    report = benchmark.pedantic(once, rounds=1, iterations=1)
+    save_report("fig4_mnist", report.render())
+
+    sweep = report.sweeps["mnist"]
+    for edges in sweep.sweep_values:
+        mach = sweep.get(edges, "mach")
+        _name, base = sweep.best_baseline(edges)
+        benchmark.extra_info[f"edges_{edges}_mach"] = mach
+        benchmark.extra_info[f"edges_{edges}_best_baseline"] = base
+        if base is not None:
+            assert mach is not None
+    benchmark.extra_info["savings_series_low_to_high_edges"] = sweep.savings_series()

@@ -1,0 +1,23 @@
+"""EXT-MOBILITY — mobility-rate sensitivity (extension experiment).
+
+Sweeps the Markov stay probability to probe the paper's core premise:
+device mobility is what makes per-edge sampling strategies necessary.
+Uses the fast flat-feature task so the sweep stays CPU-cheap.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.experiments import mobility
+
+
+def test_mobility_sensitivity(benchmark, preset, repeats):
+    def once():
+        return mobility.run(preset=preset, tasks=("blobs",), repeats=repeats)
+
+    report = benchmark.pedantic(once, rounds=1, iterations=1)
+    save_report("mobility_sensitivity", report.render())
+    sweep = report.sweeps["blobs"]
+    for stay in sweep.sweep_values:
+        benchmark.extra_info[f"stay_{stay}_mach"] = sweep.get(stay, "mach")
+        benchmark.extra_info[f"stay_{stay}_uniform"] = sweep.get(stay, "uniform")

@@ -1,0 +1,31 @@
+"""Table I — time steps consumed under different local updating epochs.
+
+Regenerates both milestone blocks (70% of target / full target) for the
+local-epoch settings {0.8I, I, 1.2I} with MACH / US / CS / SS, plus the
+"- Time Steps %" savings column.  Paper shapes: all methods speed up as
+I grows; MACH's savings shrink with larger I; savings at the 70%
+milestone exceed those at the full target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.experiments import table1
+
+
+def test_table1_local_epochs(benchmark, preset, repeats):
+    def once():
+        return table1.run(preset=preset, tasks=("mnist",), repeats=repeats)
+
+    report = benchmark.pedantic(once, rounds=1, iterations=1)
+    save_report("table1_mnist", report.render())
+
+    for (task, milestone), sweep in report.sweeps.items():
+        benchmark.extra_info[f"{milestone}_savings"] = sweep.savings_series()
+        # MACH reaches every milestone a baseline reaches.
+        for value in sweep.sweep_values:
+            _name, base = sweep.best_baseline(value)
+            if base is not None:
+                assert sweep.get(value, "mach") is not None

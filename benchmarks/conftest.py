@@ -1,0 +1,57 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (figure/table) or one
+ablation, at the CPU-sized ``bench`` preset by default.  Environment
+knobs:
+
+- ``REPRO_BENCH_PRESET``  — ``bench`` (default) or ``paper``.  The paper
+  preset reproduces §IV-A.2 exactly (100 devices, full-resolution
+  images) and takes hours on a pure-numpy substrate.
+- ``REPRO_BENCH_REPEATS`` — repeats per (scenario, sampler); default 1
+  (the paper averages 3).
+- ``REPRO_BENCH_TASKS``   — comma-separated task subset for Fig. 3
+  (default ``mnist,fmnist,cifar10``).
+
+Rendered reports are written to ``benchmarks/results/*.txt`` and echoed
+into pytest-benchmark's ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_preset() -> str:
+    return os.environ.get("REPRO_BENCH_PRESET", "bench")
+
+
+def bench_repeats() -> int:
+    return int(os.environ.get("REPRO_BENCH_REPEATS", "1"))
+
+
+def bench_tasks() -> tuple:
+    raw = os.environ.get("REPRO_BENCH_TASKS", "mnist,fmnist,cifar10")
+    return tuple(t.strip() for t in raw.split(",") if t.strip())
+
+
+def save_report(name: str, text: str) -> None:
+    """Persist a rendered report and echo it to the terminal."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[report saved to {path}]")
+
+
+@pytest.fixture
+def preset() -> str:
+    return bench_preset()
+
+
+@pytest.fixture
+def repeats() -> int:
+    return bench_repeats()

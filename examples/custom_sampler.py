@@ -1,0 +1,94 @@
+"""Extend the library with a custom device-sampling strategy.
+
+Shows the full extension surface of :class:`repro.Sampler`: a
+"proportional-to-loss-squared" strategy that implements the life-cycle
+hooks (setup / probabilities / observe_participation / on_global_sync),
+honours the Eq. (3) channel-capacity constraint via the shared
+water-filling helper, and is then raced against MACH and uniform
+sampling on a common scenario.
+
+Run:  python examples/custom_sampler.py
+"""
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import (
+    HFLConfig,
+    HFLTrainer,
+    MACHSampler,
+    MarkovMobilityModel,
+    Sampler,
+    UniformSampler,
+    build_model,
+    make_federated_task,
+)
+from repro.sampling.base import DeviceProfile, capped_proportional_probabilities
+
+
+class LossSquaredSampler(Sampler):
+    """Sample devices proportionally to their squared recent mean loss.
+
+    Squaring sharpens the preference for struggling devices compared to
+    the plain statistical sampler; between cloud syncs the estimates are
+    frozen, mirroring MACH's T_g update clock.
+    """
+
+    name = "loss_squared"
+
+    def __init__(self) -> None:
+        self._live: Optional[np.ndarray] = None     # updated on observation
+        self._frozen: Optional[np.ndarray] = None   # used for decisions
+
+    def setup(self, profiles: Sequence[DeviceProfile], num_edges: int) -> None:
+        size = max(p.device_id for p in profiles) + 1
+        self._live = np.ones(size)
+        self._frozen = np.ones(size)
+
+    def probabilities(self, t, edge, device_indices, capacity):
+        weights = self._frozen[np.asarray(device_indices, dtype=int)] ** 2
+        return capped_proportional_probabilities(weights, capacity)
+
+    def observe_participation(self, t, device, grad_sq_norms, mean_loss):
+        self._live[device] = max(float(mean_loss), 1e-6)
+
+    def on_global_sync(self, t):
+        self._frozen = self._live.copy()
+
+
+def race(sampler, devices, test, trace, seed=0):
+    trainer = HFLTrainer(
+        model_factory=lambda rng: build_model("mlp", (16,), scale="tiny", rng=rng),
+        device_datasets=devices,
+        trace=trace,
+        sampler=sampler,
+        config=HFLConfig(
+            learning_rate=0.08, local_epochs=10, batch_size=8,
+            sync_interval=5, participation_fraction=0.4, seed=seed,
+        ),
+        test_dataset=test,
+    )
+    return trainer.run(num_steps=100, target_accuracy=0.70)
+
+
+def main() -> None:
+    devices, test = make_federated_task(
+        "blobs", num_devices=30, samples_per_device=50, test_samples=300,
+        alpha=0.1, imbalance=8.0, separation=0.9, noise=1.2, rng=0,
+    )
+    trace = MarkovMobilityModel.stay_or_jump(5, 0.8, rng=1).sample_trace(100, 30, rng=2)
+
+    print(f"{'sampler':<16}{'steps to 70%':>14}{'final acc':>12}")
+    for sampler in (LossSquaredSampler(), MACHSampler(), UniformSampler()):
+        result = race(sampler, devices, test, trace)
+        reached = result.time_to_accuracy(0.70)
+        print(
+            f"{sampler.name:<16}"
+            f"{str(reached) if reached else 'not reached':>14}"
+            f"{result.history.final_accuracy():>12.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim for offline editable installs (see pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,179 @@
+"""Convergence theory of §III-A: Theorem 1, Problem 1 and Remark 2.
+
+These functions make the paper's analysis executable: the Theorem-1
+upper bound on the time-averaged squared gradient norm, the
+sampling-dependent term each edge minimizes, the closed-form optimum
+the paper states in Eq. (13), and the exact constrained minimizer of
+the bound (used to sanity-check Eq. (13) in the THEORY benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def sampling_objective(g_sq: np.ndarray, q: np.ndarray) -> float:
+    """The per-step sampling-dependent term ``Σ_m G²_m / q_m``.
+
+    Remark 1: device mobility enters the Theorem-1 bound only through
+    this sum (evaluated over the devices currently in each edge), so
+    each edge minimizes it independently.
+    """
+    g_sq = np.asarray(g_sq, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if g_sq.shape != q.shape:
+        raise ValueError(f"shape mismatch: {g_sq.shape} vs {q.shape}")
+    if np.any(g_sq < 0):
+        raise ValueError("squared gradient norms must be non-negative")
+    if np.any(q <= 0) or np.any(q > 1):
+        raise ValueError("probabilities must be in (0, 1]")
+    return float(np.sum(g_sq / q))
+
+
+def convergence_bound(
+    g_sq_per_step: Sequence[np.ndarray],
+    q_per_step: Sequence[np.ndarray],
+    gamma: float,
+    smoothness: float,
+    local_epochs: int,
+    sync_interval: int,
+    num_devices: int,
+    f0_minus_fstar: float,
+) -> float:
+    """Evaluate the Theorem-1 upper bound (Eq. (9)).
+
+    .. math::
+        \\frac{1}{T}\\sum_t E\\|\\nabla f(w^t)\\|^2 \\le
+        \\frac{2(f^0 - f^*)}{\\gamma I T} +
+        \\sum_t \\frac{\\gamma L I(2 + \\gamma L I) +
+        4(1+|M|)T_g^2 L^2 \\gamma^2}{2|M|T}
+        \\sum_n \\sum_{m \\in M^t_n} \\frac{G^2_m}{q^t_{m,n}}
+
+    Parameters
+    ----------
+    g_sq_per_step, q_per_step:
+        Per step ``t``, the concatenated ``G²_m`` and ``q^t_{m,n}`` over
+        all edges' member devices (any consistent ordering).
+    gamma, smoothness, local_epochs, sync_interval:
+        γ, L, I and T_g of the analysis.
+    num_devices:
+        |M|.
+    f0_minus_fstar:
+        ``f(w^0) − f*`` (≥ 0).
+    """
+    if len(g_sq_per_step) != len(q_per_step):
+        raise ValueError("g_sq_per_step and q_per_step must have equal length")
+    horizon = len(g_sq_per_step)
+    check_positive("T (number of steps)", horizon)
+    check_positive("gamma", gamma)
+    check_positive("smoothness", smoothness)
+    check_positive("local_epochs", local_epochs)
+    check_positive("sync_interval", sync_interval)
+    check_positive("num_devices", num_devices)
+    if f0_minus_fstar < 0:
+        raise ValueError(f"f0_minus_fstar must be >= 0, got {f0_minus_fstar}")
+
+    gli = gamma * smoothness * local_epochs
+    coefficient = (
+        gli * (2 + gli)
+        + 4 * (1 + num_devices) * sync_interval**2 * smoothness**2 * gamma**2
+    ) / (2 * num_devices * horizon)
+
+    optimisation_term = 2 * f0_minus_fstar / (gamma * local_epochs * horizon)
+    sampling_term = coefficient * sum(
+        sampling_objective(g_sq, q)
+        for g_sq, q in zip(g_sq_per_step, q_per_step)
+    )
+    return float(optimisation_term + sampling_term)
+
+
+def paper_optimal_probabilities(g_sq: np.ndarray, capacity: float) -> np.ndarray:
+    """Eq. (13): ``q*_m = K_n G²_m / Σ_{m'} G²_{m'}`` (range unclamped).
+
+    This is the closed form the paper states in Remark 2 and the rule
+    MACH's edge sampling builds on (Eq. (16)).  Note it allocates the
+    budget proportionally to *squared* norms; the exact minimizer of
+    ``Σ G²/q`` under ``Σ q = K`` is proportional to the *unsquared*
+    norms (see :func:`bound_minimizing_probabilities`) — the THEORY
+    benchmark quantifies the gap, which is small unless norms are very
+    spread out.
+    """
+    g_sq = np.asarray(g_sq, dtype=float)
+    check_positive("capacity", capacity)
+    if np.any(g_sq < 0):
+        raise ValueError("squared gradient norms must be non-negative")
+    total = g_sq.sum()
+    if total == 0:
+        return np.full(g_sq.shape, capacity / max(len(g_sq), 1))
+    return capacity * g_sq / total
+
+
+def bound_minimizing_probabilities(
+    g_sq: np.ndarray, capacity: float
+) -> np.ndarray:
+    """Exact minimizer of ``Σ G²_m / q_m`` s.t. ``Σ q ≤ K``, ``q ∈ (0, 1]``.
+
+    By Lagrangian stationarity the unclipped solution is ``q ∝ G_m``
+    (Cauchy–Schwarz); entries that would exceed 1 are clipped and the
+    residual budget re-allocated over the rest (water-filling).
+    """
+    from repro.utils.probability import capped_proportional_probabilities
+
+    g_sq = np.asarray(g_sq, dtype=float)
+    check_positive("capacity", capacity)
+    if np.any(g_sq < 0):
+        raise ValueError("squared gradient norms must be non-negative")
+    return capped_proportional_probabilities(np.sqrt(g_sq), capacity)
+
+
+def virtual_global_model(
+    local_models: np.ndarray,
+    edge_of_device: np.ndarray,
+    participation: np.ndarray,
+    probabilities: np.ndarray,
+    num_edges: int,
+) -> np.ndarray:
+    """The virtual aggregate ``\\bar w^{t+1}`` of Eq. (7).
+
+    ``local_models`` is (num_devices, dim); ``edge_of_device`` maps each
+    device to its current edge; ``participation`` is the realized
+    indicator ``1^t_{m,n}`` and ``probabilities`` the sampling vector
+    ``q^t_{m,n}``.  Lemma 1: its expectation over the participation
+    indicators equals the plain average of the local models — verified
+    by a property-based test.
+    """
+    local_models = np.asarray(local_models, dtype=float)
+    edge_of_device = np.asarray(edge_of_device, dtype=int)
+    participation = np.asarray(participation, dtype=float)
+    probabilities = np.asarray(probabilities, dtype=float)
+    num_devices = local_models.shape[0]
+    for name, arr in (
+        ("edge_of_device", edge_of_device),
+        ("participation", participation),
+        ("probabilities", probabilities),
+    ):
+        if arr.shape != (num_devices,):
+            raise ValueError(f"{name} must have shape ({num_devices},)")
+    if np.any((participation > 0) & (probabilities <= 0)):
+        raise ValueError("a device participated with probability 0")
+
+    dim = local_models.shape[1]
+    result = np.zeros(dim)
+    for n in range(num_edges):
+        members = np.flatnonzero(edge_of_device == n)
+        if members.size == 0:
+            continue
+        inner = np.zeros(dim)
+        for m in members:
+            if participation[m]:
+                inner += local_models[m] / probabilities[m]
+        # Eq. (7) as printed weights each edge by |M^t_n| / |N|, under
+        # which Lemma 1's stated expectation (1/|M|) Σ_m w_m only holds
+        # when |N| = |M|; Eq. (6) and the Lemma-1 statement require the
+        # |M^t_n| / |M| weighting used here (the |N| is a typo).
+        result += inner * (members.size / num_devices) / members.size
+    return result

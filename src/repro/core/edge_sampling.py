@@ -1,0 +1,120 @@
+"""Algorithm 3: per-edge device sampling strategy (Eqs. (16)–(18)).
+
+Each edge independently turns the estimated maximum gradient norms
+``G̃²_m`` of its current members into sampling probabilities:
+
+1. **virtual probabilities** — the unclamped Remark-2 optimum,
+   ``q̂_m = K_n G̃²_m / Σ_{m'} G̃²_{m'}`` (Eq. (16));
+2. **smoothing** — a sigmoid transfer ``S(q̂)`` (Eq. (17)) that squashes
+   the spread of the probabilities toward uniform, protecting early
+   training from the variance blow-up the paper describes (a device
+   sampled with ``q → 0`` gets aggregation weight ``1/q → ∞``);
+3. **renormalization** — ``q_m = K_n S(q̂_m) / Σ S(q̂_{m'})`` (Eq. (18)),
+   clipped into [0, 1] with budget-preserving water-filling.
+
+Sign convention: the paper prints ``S(q̂) = 1 + α(1/(1+e^{βq̂}) − 1/2)``,
+which is *decreasing* in ``q̂`` and would invert Remark 2's "assign
+higher probabilities to larger gradient norms".  We therefore use the
+increasing form ``1/(1+e^{−βq̂})`` (equivalently, the paper's β is
+negative): with ``α, β ≥ 0`` and ``q̂ ≥ 0``, ``S`` rises monotonically
+from 1 toward ``1 + α/2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.convergence import paper_optimal_probabilities
+from repro.utils.probability import capped_proportional_probabilities
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class EdgeSamplingConfig:
+    """Control coefficients of the transfer function S(·) (Eq. (17)).
+
+    The paper calls α and β "task-specific control coefficients" and
+    advises keeping them small early in training so that G̃²_m can be
+    estimated through near-uniform sampling; ``warmup_steps`` ramps both
+    linearly from 0 to their configured values over that window.
+    """
+
+    alpha: float = 1.5
+    beta: float = 2.0
+    warmup_steps: int = 0
+    #: Ablation switch: when False, skip Eq. (17) entirely and allocate
+    #: capacity proportionally to the raw G̃² estimates (the unsmoothed
+    #: Remark-2 rule with water-filling range repair).
+    smoothing_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {self.alpha}")
+        if self.beta < 0:
+            raise ValueError(f"beta must be >= 0, got {self.beta}")
+        if self.warmup_steps < 0:
+            raise ValueError(f"warmup_steps must be >= 0, got {self.warmup_steps}")
+
+    def at_step(self, t: int) -> "EdgeSamplingConfig":
+        """Effective coefficients at step ``t`` under the warmup ramp."""
+        if self.warmup_steps == 0 or t >= self.warmup_steps:
+            return self
+        ramp = t / self.warmup_steps
+        return EdgeSamplingConfig(
+            alpha=self.alpha * ramp,
+            beta=self.beta * ramp,
+            warmup_steps=0,
+            smoothing_enabled=self.smoothing_enabled,
+        )
+
+
+def virtual_probabilities(g_sq_estimates: np.ndarray, capacity: float) -> np.ndarray:
+    """Eq. (16): ``q̂_m = K_n G̃²_m / Σ G̃²`` (may exceed 1)."""
+    return paper_optimal_probabilities(g_sq_estimates, capacity)
+
+
+def smooth(q_hat: np.ndarray, alpha: float, beta: float) -> np.ndarray:
+    """Eq. (17) transfer function (increasing form, see module docstring)."""
+    q_hat = np.asarray(q_hat, dtype=float)
+    if alpha < 0 or beta < 0:
+        raise ValueError(f"alpha and beta must be >= 0, got {alpha}, {beta}")
+    return 1.0 + alpha * (1.0 / (1.0 + np.exp(-beta * q_hat)) - 0.5)
+
+
+def edge_strategy(
+    g_sq_estimates: np.ndarray,
+    capacity: float,
+    config: EdgeSamplingConfig,
+    t: int = 0,
+) -> np.ndarray:
+    """The full Algorithm 3: G̃² estimates → edge sampling strategy Q^t_n.
+
+    Infinite estimates (devices whose UCB exploration bonus is still
+    unbounded because they were never sampled) are mapped to twice the
+    largest finite estimate, so unexplored devices win the comparison
+    against every explored device without breaking the arithmetic; if
+    *no* device has been explored the strategy degenerates to uniform.
+    """
+    g_sq_estimates = np.asarray(g_sq_estimates, dtype=float)
+    if len(g_sq_estimates) == 0:
+        return np.zeros(0)
+    check_positive("capacity", capacity)
+    if np.any(g_sq_estimates < 0):
+        raise ValueError("G̃² estimates must be non-negative")
+
+    finite = np.isfinite(g_sq_estimates)
+    estimates = g_sq_estimates.copy()
+    if not finite.any():
+        estimates = np.ones_like(estimates)
+    elif not finite.all():
+        ceiling = max(2.0 * estimates[finite].max(), 1.0)
+        estimates[~finite] = ceiling
+
+    effective = config.at_step(t)
+    if not effective.smoothing_enabled:
+        return capped_proportional_probabilities(estimates, capacity)
+    q_hat = virtual_probabilities(estimates, capacity)
+    weights = smooth(q_hat, effective.alpha, effective.beta)
+    return capped_proportional_probabilities(weights, capacity)

@@ -1,0 +1,163 @@
+"""Algorithm 2: online experience updating with a UCB estimator.
+
+Every device keeps a *gradient experience buffer* ``G^t_m`` holding the
+squared ℓ2-norms of all its local stochastic gradients since the last
+edge-to-cloud communication (Eq. (14)).  At each communication step the
+device refreshes its estimated maximum gradient norm ``G̃²_m`` with the
+UCB score of Eq. (15):
+
+.. math::
+    \\tilde G^2_m = \\underbrace{\\max_{t'} \\; 1^{t'}_{m,n}
+    \\,\\mathrm{Avg}(G^{t'}_m)}_{exploitation}
+    + \\underbrace{\\sqrt{\\log(t) / \\textstyle\\sum_{t'}
+    1^{t'}_{m,n}}}_{exploration}
+
+and clears the buffer.  Devices never sampled keep an infinite
+exploration bonus, so each edge is driven to try them — this is what
+lets MACH operate with no prior knowledge of device data statistics.
+
+Exploitation window
+-------------------
+Read literally, Eq. (15)'s max ranges over *all* past steps, making the
+exploitation term a lifetime maximum: since gradient norms are largest
+at the start of training, every device's estimate freezes at its
+early-training value and the sampling strategy stops adapting — at odds
+with the algorithm's stated goal of tracking dynamic edge conditions
+(and with the buffer-clearing in Algorithm 2 line 4, which exists
+precisely so new windows reflect current statistics).  We therefore
+default to ``window="recent"``: the max is taken over the buffer
+snapshots of the *current* inter-sync window, with the previous
+estimate retained when the device did not participate at all.  The
+literal reading remains available as ``window="lifetime"`` and the
+ABL-UCB benchmark compares the two.
+
+Other documented deviations: Eq. (15)'s ``log(t)`` is undefined at
+``t ∈ {0, 1}``; we use ``log(t + 1)`` like standard UCB1 round counts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_membership, check_positive
+
+#: Valid exploitation-window modes.
+WINDOW_MODES = ("recent", "lifetime")
+
+
+class DeviceExperience:
+    """Per-device state of Algorithm 2."""
+
+    def __init__(self, device_id: int, window: str = "recent") -> None:
+        check_membership("window", window, WINDOW_MODES)
+        self.device_id = device_id
+        self.window = window
+        #: Gradient experience buffer G^t_m (squared norms since last sync).
+        self.buffer: List[float] = []
+        #: Max over participated-step buffer averages in the current window.
+        self.window_best: float = 0.0
+        #: Whether the device participated at least once this window.
+        self.window_participated: bool = False
+        #: Lifetime max over participated-step buffer averages (term A,
+        #: literal Eq. (15) reading).
+        self.lifetime_best: float = 0.0
+        #: Total participation count Σ_{t'} 1^{t'}_{m,n}.
+        self.participation_count: int = 0
+        #: Latest exploitation value carried across syncs.
+        self._exploit: Optional[float] = None
+        #: Latest full UCB estimate G̃²_m (None until first computable).
+        self._estimate: Optional[float] = None
+
+    def record(self, grad_sq_norms: Sequence[float]) -> None:
+        """Fold one participated step's local gradients into the buffer.
+
+        Implements Eq. (14) followed by the incremental update of the
+        exploitation term's running maximum.
+        """
+        norms = [float(g) for g in grad_sq_norms]
+        if not norms:
+            raise ValueError("a participated step must report >= 1 gradient norm")
+        if any(g < 0 for g in norms):
+            raise ValueError("squared gradient norms must be non-negative")
+        self.buffer.extend(norms)
+        self.participation_count += 1
+        running_average = float(np.mean(self.buffer))
+        self.window_best = max(self.window_best, running_average)
+        self.window_participated = True
+        self.lifetime_best = max(self.lifetime_best, running_average)
+
+    def exploration_bonus(self, t: int) -> float:
+        """Term B of Eq. (15); infinite when the device was never sampled."""
+        if self.participation_count == 0:
+            return math.inf
+        return math.sqrt(math.log(t + 1) / self.participation_count)
+
+    def _exploitation(self) -> float:
+        """Term A under the configured window mode."""
+        if self.window == "lifetime":
+            return self.lifetime_best
+        if self.window_participated:
+            return self.window_best
+        # No participation this window: carry the previous estimate.
+        return self._exploit if self._exploit is not None else 0.0
+
+    def ucb_estimate(self, t: int) -> float:
+        """The full Eq. (15) score at communication step ``t``."""
+        return self._exploitation() + self.exploration_bonus(t)
+
+    def sync(self, t: int) -> float:
+        """Algorithm 2 lines 2–4: refresh G̃²_m and clear the buffer."""
+        self._exploit = self._exploitation()
+        self._estimate = self._exploit + self.exploration_bonus(t)
+        self.buffer = []
+        self.window_best = 0.0
+        self.window_participated = False
+        return self._estimate
+
+    @property
+    def estimate(self) -> float:
+        """Latest synced G̃²_m; infinite before the device is ever estimated."""
+        if self._estimate is None:
+            return math.inf
+        return self._estimate
+
+
+class ExperienceTracker:
+    """The population of per-device experiences, synced on Algorithm 1's clock."""
+
+    def __init__(self, num_devices: int, window: str = "recent") -> None:
+        check_positive("num_devices", num_devices)
+        check_membership("window", window, WINDOW_MODES)
+        self.window = window
+        self.devices: Dict[int, DeviceExperience] = {
+            m: DeviceExperience(m, window=window) for m in range(num_devices)
+        }
+
+    def record(self, device: int, grad_sq_norms: Sequence[float]) -> None:
+        """Record one participated step for ``device`` (Eq. (14))."""
+        self._get(device).record(grad_sq_norms)
+
+    def sync_all(self, t: int) -> None:
+        """Edge-to-cloud step: refresh every device's UCB estimate."""
+        for exp in self.devices.values():
+            exp.sync(t)
+
+    def estimates(self, device_indices: Sequence[int]) -> np.ndarray:
+        """Current G̃²_m for the requested devices (inf ⇒ never estimated)."""
+        return np.array([self._get(m).estimate for m in device_indices])
+
+    def participation_counts(self) -> np.ndarray:
+        """Per-device total participation counts (diagnostics)."""
+        size = max(self.devices) + 1
+        counts = np.zeros(size, dtype=int)
+        for m, exp in self.devices.items():
+            counts[m] = exp.participation_count
+        return counts
+
+    def _get(self, device: int) -> DeviceExperience:
+        if device not in self.devices:
+            raise KeyError(f"unknown device {device}")
+        return self.devices[device]

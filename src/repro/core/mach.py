@@ -1,0 +1,95 @@
+"""The MACH sampler: Algorithm 1's sampling side, pluggable into the trainer.
+
+MACH composes the two components of §III-B:
+
+- **experience updating** (:class:`repro.core.experience.ExperienceTracker`):
+  each sampled device appends its local squared gradient norms to its
+  experience buffer (Eq. (14)); at every edge-to-cloud communication the
+  UCB scores G̃²_m are refreshed (Eq. (15)) and buffers cleared;
+- **edge sampling** (:func:`repro.core.edge_sampling.edge_strategy`):
+  each edge independently converts the G̃²_m of its current members into
+  the strategy Q^t_n (Eqs. (16)–(18)).
+
+The sampler needs no prior knowledge of device data statistics — only
+the gradient norms of devices it actually sampled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.edge_sampling import EdgeSamplingConfig, edge_strategy
+from repro.core.experience import ExperienceTracker
+from repro.sampling.base import DeviceProfile, Sampler
+
+
+@dataclass(frozen=True)
+class MACHConfig:
+    """Hyper-parameters of MACH.
+
+    ``edge_sampling`` carries the α/β transfer-function coefficients of
+    Eq. (17) and the warmup ramp; ``sync_interval`` must match the HFL
+    trainer's T_g so that UCB refreshes happen on the Algorithm-2 clock
+    (``t mod T_g == 0``).
+    """
+
+    edge_sampling: EdgeSamplingConfig = field(default_factory=EdgeSamplingConfig)
+    sync_interval: int = 5
+    #: Exploitation-window mode of the UCB estimator ("recent" adapts to
+    #: the current inter-sync window; "lifetime" is the literal Eq. (15)
+    #: all-history max — see repro.core.experience).
+    ucb_window: str = "recent"
+
+    def __post_init__(self) -> None:
+        if self.sync_interval <= 0:
+            raise ValueError(
+                f"sync_interval must be positive, got {self.sync_interval}"
+            )
+
+
+class MACHSampler(Sampler):
+    """Mobility-Aware deviCe sampling in Hierarchical federated learning."""
+
+    name = "mach"
+
+    def __init__(self, config: Optional[MACHConfig] = None) -> None:
+        self.config = config if config is not None else MACHConfig()
+        self._tracker: Optional[ExperienceTracker] = None
+
+    @property
+    def tracker(self) -> ExperienceTracker:
+        if self._tracker is None:
+            raise RuntimeError("setup() must be called before use")
+        return self._tracker
+
+    def setup(self, profiles: Sequence[DeviceProfile], num_edges: int) -> None:
+        if not profiles:
+            raise ValueError("profiles is empty")
+        num_devices = max(p.device_id for p in profiles) + 1
+        self._tracker = ExperienceTracker(num_devices, window=self.config.ucb_window)
+
+    def probabilities(
+        self, t: int, edge: int, device_indices: np.ndarray, capacity: float
+    ) -> np.ndarray:
+        """Algorithm 1 line 3: Q^t_n ← EdgeSampling({G̃²_m | m ∈ M^t_n})."""
+        if len(device_indices) == 0:
+            return np.zeros(0)
+        estimates = self.tracker.estimates(list(device_indices))
+        return edge_strategy(estimates, capacity, self.config.edge_sampling, t=t)
+
+    def observe_participation(
+        self,
+        t: int,
+        device: int,
+        grad_sq_norms: Sequence[float],
+        mean_loss: float,
+    ) -> None:
+        """Algorithm 1 line 10 / Algorithm 2 line 1: buffer the experience."""
+        self.tracker.record(device, grad_sq_norms)
+
+    def on_global_sync(self, t: int) -> None:
+        """Algorithm 2 lines 2–4: refresh every G̃²_m, clear buffers."""
+        self.tracker.sync_all(t)

@@ -1,0 +1,158 @@
+"""Ablation studies on MACH's design choices (DESIGN.md ABL-* experiments).
+
+Three ablations beyond the paper's own evaluation:
+
+- **ABL-UCB** — the UCB exploitation window: ``recent`` (our default,
+  adapts to the current inter-sync window) versus ``lifetime`` (the
+  literal Eq. (15) all-history max, which freezes the strategy at
+  early-training gradient ratios), and the effect of removing the
+  exploration bonus entirely (pure exploitation via MACH-P's oracle).
+- **ABL-SMOOTH** — the Eq. (17) transfer function: smoothing enabled at
+  several (α, β) settings versus disabled (raw Remark-2 proportional
+  allocation).
+- **ABL-AGG** — the Eq. (5) aggregation realization: ``fedavg`` (equal
+  participant weights) / ``delta`` (unbiased IPW updates) /
+  ``normalized`` / ``model`` (literal raw-model IPW), run under uniform
+  sampling to isolate the aggregation effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.fig3 import scenario_for
+from repro.experiments.report import format_steps, mean_or_none
+from repro.experiments.runner import run_single
+
+
+@dataclass
+class AblationReport:
+    """Rows of (variant label → steps-to-target, final accuracy)."""
+
+    title: str
+    rows: List[Tuple[str, Optional[float], float]] = field(default_factory=list)
+
+    def add(self, label: str, steps: Optional[float], final_accuracy: float) -> None:
+        self.rows.append((label, steps, final_accuracy))
+
+    def steps_of(self, label: str) -> Optional[float]:
+        for row_label, steps, _acc in self.rows:
+            if row_label == label:
+                return steps
+        raise KeyError(f"no ablation row labelled {label!r}")
+
+    def render(self) -> str:
+        lines = [f"== {self.title}", f"{'variant':<34}{'steps':>10}{'final acc':>12}"]
+        for label, steps, acc in self.rows:
+            lines.append(f"{label:<34}{format_steps(steps):>10}{acc:>12.3f}")
+        return "\n".join(lines)
+
+
+def _measure(config, sampler_name: str, repeats: int) -> Tuple[Optional[float], float]:
+    times, finals = [], []
+    for r in range(repeats):
+        result = run_single(config, sampler_name, seed=config.seed + r)
+        times.append(result.time_to_accuracy(config.target_accuracy))
+        finals.append(result.history.final_accuracy())
+    return mean_or_none(times), float(np.mean(finals))
+
+
+def run_ucb_ablation(
+    preset: str = "bench", task: str = "mnist", repeats: int = 1
+) -> AblationReport:
+    """ABL-UCB: exploitation-window mode and oracle upper bound."""
+    base = scenario_for(task, preset)
+    report = AblationReport(
+        title=f"ABL-UCB ({task}, target={base.target_accuracy})"
+    )
+    for window in ("recent", "lifetime"):
+        steps, acc = _measure(
+            base.with_overrides(mach_ucb_window=window), "mach", repeats
+        )
+        report.add(f"mach ucb_window={window}", steps, acc)
+    steps, acc = _measure(base, "mach_p", repeats)
+    report.add("mach_p (oracle, no estimation)", steps, acc)
+    steps, acc = _measure(base, "uniform", repeats)
+    report.add("uniform (no experience at all)", steps, acc)
+    return report
+
+
+def run_smoothing_ablation(
+    preset: str = "bench",
+    task: str = "mnist",
+    settings: Sequence[Tuple[float, float]] = ((2.0, 2.0), (8.0, 2.0), (50.0, 0.5)),
+    repeats: int = 1,
+) -> AblationReport:
+    """ABL-SMOOTH: Eq. (17) on at several (α, β) vs off."""
+    base = scenario_for(task, preset)
+    report = AblationReport(
+        title=f"ABL-SMOOTH ({task}, target={base.target_accuracy})"
+    )
+    for alpha, beta in settings:
+        steps, acc = _measure(
+            base.with_overrides(mach_alpha=alpha, mach_beta=beta), "mach", repeats
+        )
+        report.add(f"smoothing alpha={alpha} beta={beta}", steps, acc)
+    # Disabled: raw proportional allocation (alpha/beta ignored).
+    from repro.core.edge_sampling import EdgeSamplingConfig
+    from repro.core.mach import MACHConfig, MACHSampler
+    from repro.hfl.config import HFLConfig
+    from repro.hfl.trainer import HFLTrainer
+    from repro.experiments.runner import build_scenario
+
+    times, finals = [], []
+    for r in range(repeats):
+        devices, test, trace, model_factory = build_scenario(base, base.seed + r)
+        sampler = MACHSampler(
+            MACHConfig(
+                edge_sampling=EdgeSamplingConfig(smoothing_enabled=False),
+                sync_interval=base.sync_interval,
+            )
+        )
+        trainer = HFLTrainer(
+            model_factory, devices, trace, sampler,
+            HFLConfig(
+                learning_rate=base.learning_rate,
+                local_epochs=base.local_epochs,
+                batch_size=base.batch_size,
+                sync_interval=base.sync_interval,
+                participation_fraction=base.participation_fraction,
+                aggregation=base.aggregation,
+                seed=base.seed + r,
+            ),
+            test,
+        )
+        result = trainer.run(base.num_steps, target_accuracy=base.target_accuracy)
+        times.append(result.time_to_accuracy(base.target_accuracy))
+        finals.append(result.history.final_accuracy())
+    report.add("smoothing disabled", mean_or_none(times), float(np.mean(finals)))
+    return report
+
+
+def run_aggregation_ablation(
+    preset: str = "bench", task: str = "blobs", repeats: int = 1
+) -> AblationReport:
+    """ABL-AGG: Eq. (5) realizations under uniform sampling."""
+    base = scenario_for(task, preset)
+    report = AblationReport(
+        title=f"ABL-AGG ({task}, target={base.target_accuracy})"
+    )
+    for mode in ("fedavg", "delta", "normalized", "model"):
+        steps, acc = _measure(
+            base.with_overrides(aggregation=mode), "uniform", repeats
+        )
+        report.add(f"aggregation={mode}", steps, acc)
+    return report
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run_ucb_ablation().render())
+    print(run_smoothing_ablation().render())
+    print(run_aggregation_ablation().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,216 @@
+"""Scenario configuration and presets for the evaluation experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.core.edge_sampling import EdgeSamplingConfig
+from repro.core.mach import MACHConfig, MACHSampler
+from repro.sampling import (
+    ClassBalanceSampler,
+    MACHOracleSampler,
+    Sampler,
+    StatisticalSampler,
+    UniformSampler,
+)
+from repro.utils.validation import check_fraction, check_membership, check_positive
+
+#: The five strategies compared throughout §IV.
+SAMPLER_NAMES: Tuple[str, ...] = (
+    "mach",
+    "mach_p",
+    "uniform",
+    "class_balance",
+    "statistical",
+)
+
+#: Abbreviations used in the paper's Table I.
+SAMPLER_ABBREVIATIONS: Dict[str, str] = {
+    "mach": "MACH",
+    "mach_p": "MACH-P",
+    "uniform": "US",
+    "class_balance": "CS",
+    "statistical": "SS",
+}
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One fully specified HFL scenario (workload + system + training).
+
+    The defaults mirror the paper's §IV-A.2 base configuration; presets
+    below derive the per-task / per-scale variants.
+    """
+
+    task: str = "mnist"
+    num_devices: int = 100
+    num_edges: int = 10
+    samples_per_device: int = 100
+    test_samples: int = 1000
+    image_size: Optional[int] = None  # None = paper shape
+    model_scale: str = "small"
+    dirichlet_alpha: float = 0.3
+    imbalance: float = 4.0
+    separation: Optional[float] = None  # None = task-spec default
+    noise: Optional[float] = None
+
+    participation_fraction: float = 0.5
+    local_epochs: int = 10
+    batch_size: int = 16
+    learning_rate: float = 0.002
+    sync_interval: int = 5
+    num_steps: int = 400
+    target_accuracy: float = 0.75
+    trace_kind: str = "telecom"  # telecom | markov | static
+    aggregation: str = "fedavg"  # see repro.hfl.config.AGGREGATION_MODES
+    stay_probability: float = 0.8  # markov trace parameter
+    seed: int = 0
+    mach_alpha: float = 8.0
+    mach_beta: float = 2.0
+    mach_warmup: int = 0
+    mach_ucb_window: str = "recent"
+
+    def __post_init__(self) -> None:
+        check_positive("num_devices", self.num_devices)
+        check_positive("num_edges", self.num_edges)
+        check_positive("samples_per_device", self.samples_per_device)
+        check_positive("num_steps", self.num_steps)
+        check_fraction("participation_fraction", self.participation_fraction)
+        check_fraction("target_accuracy", self.target_accuracy)
+        check_membership("trace_kind", self.trace_kind, ("telecom", "markov", "static"))
+        if self.num_edges > self.num_devices:
+            raise ValueError("need at least as many devices as edges")
+
+    def with_overrides(self, **kwargs) -> "ScenarioConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    @property
+    def capacity_per_edge(self) -> float:
+        """Average channel capacity K_n implied by the participation target."""
+        return self.participation_fraction * self.num_devices / self.num_edges
+
+
+def make_sampler(name: str, config: ScenarioConfig) -> Sampler:
+    """Instantiate the named strategy with the scenario's MACH coefficients."""
+    edge_cfg = EdgeSamplingConfig(
+        alpha=config.mach_alpha,
+        beta=config.mach_beta,
+        warmup_steps=config.mach_warmup,
+    )
+    if name == "mach":
+        return MACHSampler(
+            MACHConfig(
+                edge_sampling=edge_cfg,
+                sync_interval=config.sync_interval,
+                ucb_window=config.mach_ucb_window,
+            )
+        )
+    if name == "mach_p":
+        return MACHOracleSampler(edge_cfg)
+    if name == "uniform":
+        return UniformSampler()
+    if name == "class_balance":
+        return ClassBalanceSampler()
+    if name == "statistical":
+        return StatisticalSampler()
+    raise ValueError(f"unknown sampler {name!r}; choose from {SAMPLER_NAMES}")
+
+
+def _paper_presets() -> Dict[str, ScenarioConfig]:
+    """The paper's own configurations (§IV-A.2): 100 devices, 10 edges,
+    50% participation, I=10; per-task γ / T_g / target accuracy."""
+    base = ScenarioConfig(
+        num_devices=100,
+        num_edges=10,
+        samples_per_device=500,
+        model_scale="paper",
+    )
+    return {
+        "mnist-paper": base.with_overrides(
+            task="mnist",
+            learning_rate=0.002,
+            sync_interval=5,
+            target_accuracy=0.75,
+            num_steps=400,
+        ),
+        "fmnist-paper": base.with_overrides(
+            task="fmnist",
+            learning_rate=0.002,
+            sync_interval=5,
+            target_accuracy=0.65,
+            num_steps=500,
+        ),
+        "cifar10-paper": base.with_overrides(
+            task="cifar10",
+            learning_rate=0.02,
+            sync_interval=10,
+            target_accuracy=0.75,
+            num_steps=5000,
+        ),
+    }
+
+
+def _bench_presets() -> Dict[str, ScenarioConfig]:
+    """CPU-sized configurations preserving the paper's comparative shape:
+    same topology ratios (devices : edges : capacity), same Non-IID
+    split, reduced resolution / population / horizon."""
+    base = ScenarioConfig(
+        num_devices=50,
+        num_edges=5,
+        samples_per_device=60,
+        test_samples=400,
+        image_size=12,
+        model_scale="tiny",
+        batch_size=8,
+        local_epochs=5,
+        num_steps=260,
+        dirichlet_alpha=0.1,
+        imbalance=8.0,
+        mach_alpha=50.0,
+        mach_beta=0.5,
+    )
+    return {
+        "mnist-bench": base.with_overrides(
+            task="mnist",
+            separation=0.7,
+            noise=1.1,
+            learning_rate=0.01,
+            sync_interval=5,
+            target_accuracy=0.93,
+        ),
+        "fmnist-bench": base.with_overrides(
+            task="fmnist",
+            separation=0.6,
+            noise=1.2,
+            learning_rate=0.01,
+            sync_interval=5,
+            target_accuracy=0.87,
+        ),
+        "cifar10-bench": base.with_overrides(
+            task="cifar10",
+            separation=0.42,
+            noise=1.35,
+            learning_rate=0.02,
+            sync_interval=10,
+            target_accuracy=0.80,
+            num_steps=400,
+        ),
+        # Flat-feature scenario for the fastest sweeps and unit benches.
+        "blobs-bench": base.with_overrides(
+            task="blobs",
+            image_size=None,
+            separation=0.8,
+            noise=1.3,
+            learning_rate=0.08,
+            local_epochs=10,
+            sync_interval=5,
+            target_accuracy=0.73,
+            num_steps=160,
+        ),
+    }
+
+
+#: All named presets; benchmark targets default to the ``*-bench`` family.
+PRESETS: Dict[str, ScenarioConfig] = {**_paper_presets(), **_bench_presets()}

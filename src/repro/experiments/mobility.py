@@ -1,0 +1,77 @@
+"""EXT-MOBILITY: sensitivity of the samplers to device mobility rate.
+
+An extension beyond the paper's evaluation, probing its core premise:
+MACH exists *because* devices move across edges.  We sweep the Markov
+stay-probability (1.0 − handover intensity) and measure steps-to-target
+for MACH and the baselines.  Expected shape: with no mobility (stay
+probability → 1) the problem reduces to classical per-edge FL and
+gradient-norm sampling still helps, but MACH's *edge-customized* UCB
+bookkeeping matters most at intermediate mobility, where edge member
+sets churn and per-device experience must survive edge changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.config import SAMPLER_NAMES
+from repro.experiments.fig3 import scenario_for
+from repro.experiments.report import SweepReport, mean_or_none
+from repro.experiments.runner import run_single
+
+DEFAULT_STAY_PROBABILITIES: Tuple[float, ...] = (0.5, 0.8, 0.95)
+
+
+@dataclass
+class MobilityReport:
+    """One SweepReport (stay probability → steps) per task."""
+
+    sweeps: Dict[str, SweepReport] = field(default_factory=dict)
+
+    def render(self) -> str:
+        blocks = [
+            "=== EXT-MOBILITY: steps to target vs mobility (stay probability) ==="
+        ]
+        for task, sweep in self.sweeps.items():
+            blocks.append(sweep.render())
+        return "\n".join(blocks)
+
+
+def run(
+    preset: str = "bench",
+    tasks: Sequence[str] = ("blobs",),
+    stay_probabilities: Sequence[float] = DEFAULT_STAY_PROBABILITIES,
+    sampler_names: Sequence[str] = ("mach", "uniform", "statistical"),
+    repeats: int = 1,
+) -> MobilityReport:
+    """Sweep the Markov stay probability on a markov-trace scenario."""
+    report = MobilityReport()
+    for task in tasks:
+        base = scenario_for(task, preset).with_overrides(trace_kind="markov")
+        sweep = SweepReport(
+            title=f"EXT-MOBILITY ({task}, target={base.target_accuracy})",
+            sweep_name="stay_probability",
+            sweep_values=list(stay_probabilities),
+            sampler_names=list(sampler_names),
+        )
+        for stay in stay_probabilities:
+            config = base.with_overrides(stay_probability=stay)
+            for name in sampler_names:
+                times = [
+                    run_single(
+                        config, name, seed=config.seed + r, stop_at_target=True
+                    ).time_to_accuracy(config.target_accuracy)
+                    for r in range(repeats)
+                ]
+                sweep.set(stay, name, mean_or_none(times))
+        report.sweeps[task] = sweep
+    return report
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,89 @@
+"""Shared report rendering for sweep-style experiments (Figs. 4–5, Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.config import SAMPLER_ABBREVIATIONS
+
+
+def format_steps(value: Optional[float]) -> str:
+    """Render a mean steps-to-target figure (``-`` when never reached)."""
+    return f"{value:.0f}" if value is not None else "-"
+
+
+@dataclass
+class SweepReport:
+    """Steps-to-target across a swept parameter, per sampler.
+
+    ``cells[(sweep_value, sampler)]`` holds the mean steps-to-target (or
+    None when the target was not reached).  This is the data behind the
+    paper's Fig. 4 (edges sweep), Fig. 5 (participation sweep) and each
+    Table-I block (local-epochs sweep).
+    """
+
+    title: str
+    sweep_name: str
+    sweep_values: List
+    sampler_names: List[str]
+    cells: Dict[Tuple[object, str], Optional[float]] = field(default_factory=dict)
+
+    def set(self, sweep_value, sampler: str, steps: Optional[float]) -> None:
+        self.cells[(sweep_value, sampler)] = steps
+
+    def get(self, sweep_value, sampler: str) -> Optional[float]:
+        return self.cells.get((sweep_value, sampler))
+
+    def best_baseline(
+        self, sweep_value, exclude: Sequence[str] = ("mach", "mach_p")
+    ) -> Tuple[Optional[str], Optional[float]]:
+        """Fastest non-MACH sampler at this sweep point."""
+        best_name, best_steps = None, None
+        for name in self.sampler_names:
+            if name in exclude:
+                continue
+            steps = self.get(sweep_value, name)
+            if steps is not None and (best_steps is None or steps < best_steps):
+                best_name, best_steps = name, steps
+        return best_name, best_steps
+
+    def mach_savings_percent(self, sweep_value) -> Optional[float]:
+        """The paper's "- Time Steps %" column: MACH vs best baseline."""
+        mach = self.get(sweep_value, "mach")
+        _name, base = self.best_baseline(sweep_value)
+        if mach is None or base is None or base == 0:
+            return None
+        return 100.0 * (base - mach) / base
+
+    def savings_series(self) -> List[Optional[float]]:
+        """Savings per sweep value, in sweep order (monotonicity checks)."""
+        return [self.mach_savings_percent(v) for v in self.sweep_values]
+
+    def render(self) -> str:
+        header = [f"== {self.title}"]
+        labels = [SAMPLER_ABBREVIATIONS.get(n, n) for n in self.sampler_names]
+        width = max(10, *(len(lbl) + 2 for lbl in labels))
+        row = f"{self.sweep_name:<22}" + "".join(f"{lbl:>{width}}" for lbl in labels)
+        header.append(row + f"{'saved %':>10}")
+        for value in self.sweep_values:
+            cells = [
+                format_steps(self.get(value, name)) for name in self.sampler_names
+            ]
+            savings = self.mach_savings_percent(value)
+            savings_str = f"{savings:.2f}%" if savings is not None else "-"
+            header.append(
+                f"{str(value):<22}"
+                + "".join(f"{c:>{width}}" for c in cells)
+                + f"{savings_str:>10}"
+            )
+        return "\n".join(header)
+
+
+def mean_or_none(values: Sequence[Optional[float]]) -> Optional[float]:
+    """Average that propagates a missed target as None."""
+    if any(v is None for v in values):
+        return None
+    return float(np.mean(list(values)))

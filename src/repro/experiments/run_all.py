@@ -1,0 +1,110 @@
+"""CLI driver: regenerate any (or every) paper artifact from the shell.
+
+Usage::
+
+    python -m repro.experiments.run_all --artifact fig3 --preset bench
+    python -m repro.experiments.run_all --artifact all --tasks mnist \
+        --repeats 3 --out results/
+
+Artifacts: fig3, fig4, fig5, table1, ablations, theory, all.
+Rendered reports are printed and, with ``--out``, written to text files.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import ablations, fig3, fig4, fig5, table1, theory
+
+ARTIFACTS = ("fig3", "fig4", "fig5", "table1", "ablations", "theory", "all")
+
+
+def _run_fig3(args) -> str:
+    return fig3.run(
+        preset=args.preset, tasks=tuple(args.tasks), repeats=args.repeats
+    ).render()
+
+
+def _run_fig4(args) -> str:
+    return fig4.run(
+        preset=args.preset, tasks=tuple(args.tasks), repeats=args.repeats
+    ).render()
+
+
+def _run_fig5(args) -> str:
+    return fig5.run(
+        preset=args.preset, tasks=tuple(args.tasks), repeats=args.repeats
+    ).render()
+
+
+def _run_table1(args) -> str:
+    return table1.run(
+        preset=args.preset, tasks=tuple(args.tasks), repeats=args.repeats
+    ).render()
+
+
+def _run_ablations(args) -> str:
+    task = args.tasks[0]
+    blocks = [
+        ablations.run_ucb_ablation(args.preset, task, args.repeats).render(),
+        ablations.run_smoothing_ablation(args.preset, task, repeats=args.repeats).render(),
+        ablations.run_aggregation_ablation(args.preset, "blobs", args.repeats).render(),
+    ]
+    return "\n\n".join(blocks)
+
+
+def _run_theory(args) -> str:
+    return theory.run().render()
+
+
+RUNNERS: Dict[str, Callable] = {
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "table1": _run_table1,
+    "ablations": _run_ablations,
+    "theory": _run_theory,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.run_all",
+        description="Regenerate the MACH paper's evaluation artifacts.",
+    )
+    parser.add_argument("--artifact", choices=ARTIFACTS, default="all")
+    parser.add_argument(
+        "--preset", default="bench",
+        help="scenario preset family: bench (CPU-sized, default) or paper",
+    )
+    parser.add_argument(
+        "--tasks", nargs="+", default=["mnist"],
+        help="tasks to run (mnist fmnist cifar10 blobs)",
+    )
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="directory to write rendered reports into",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.repeats <= 0:
+        raise SystemExit("--repeats must be positive")
+    names = list(RUNNERS) if args.artifact == "all" else [args.artifact]
+    for name in names:
+        text = RUNNERS[name](args)
+        print(text)
+        print()
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

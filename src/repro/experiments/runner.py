@@ -1,0 +1,214 @@
+"""Scenario construction and multi-sampler comparison runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic import make_federated_task
+from repro.experiments.config import (
+    SAMPLER_ABBREVIATIONS,
+    SAMPLER_NAMES,
+    ScenarioConfig,
+    make_sampler,
+)
+from repro.hfl.config import HFLConfig
+from repro.hfl.trainer import HFLTrainer, TrainingResult
+from repro.mobility.markov import MarkovMobilityModel
+from repro.mobility.telecom import TelecomTraceGenerator
+from repro.mobility.trace import MobilityTrace, static_trace
+from repro.nn.architectures import build_model
+from repro.nn.model import Model
+from repro.utils.rng import SeedSequenceFactory
+
+
+def build_trace(config: ScenarioConfig, seed: int) -> MobilityTrace:
+    """Build the scenario's mobility trace (telecom / markov / static)."""
+    seeds = SeedSequenceFactory(seed)
+    if config.trace_kind == "telecom":
+        generator = TelecomTraceGenerator(
+            num_devices=config.num_devices,
+            num_stations=max(10 * config.num_edges, 3 * config.num_devices),
+            rng=seeds.generator("telecom"),
+        )
+        trace, _edge_map = generator.generate_trace(
+            num_steps=config.num_steps, num_edges=config.num_edges
+        )
+        return trace
+    if config.trace_kind == "markov":
+        model = MarkovMobilityModel.stay_or_jump(
+            config.num_edges,
+            stay_probability=config.stay_probability,
+            rng=seeds.generator("markov"),
+        )
+        return model.sample_trace(
+            config.num_steps, config.num_devices, rng=seeds.generator("markov-trace")
+        )
+    return static_trace(
+        config.num_steps,
+        config.num_devices,
+        config.num_edges,
+        rng=seeds.generator("static"),
+    )
+
+
+def build_scenario(
+    config: ScenarioConfig, seed: Optional[int] = None
+) -> Tuple[List[Dataset], Dataset, MobilityTrace, Callable[[np.random.Generator], Model]]:
+    """Materialize a scenario: device data, test set, trace, model factory."""
+    seed = config.seed if seed is None else seed
+    seeds = SeedSequenceFactory(seed)
+    devices, test = make_federated_task(
+        config.task,
+        num_devices=config.num_devices,
+        samples_per_device=config.samples_per_device,
+        test_samples=config.test_samples,
+        image_size=config.image_size,
+        alpha=config.dirichlet_alpha,
+        imbalance=config.imbalance,
+        separation=config.separation,
+        noise=config.noise,
+        rng=seeds.generator("data"),
+    )
+    trace = build_trace(config, seed)
+    feature_shape = devices[0].feature_shape
+    task = config.task if config.task != "blobs" else "mlp"
+    scale = config.model_scale
+
+    def model_factory(rng: np.random.Generator) -> Model:
+        return build_model(task, feature_shape, scale=scale, rng=rng)
+
+    return devices, test, trace, model_factory
+
+
+def run_single(
+    config: ScenarioConfig,
+    sampler_name: str,
+    seed: Optional[int] = None,
+    stop_at_target: bool = False,
+) -> TrainingResult:
+    """Run one sampler on one freshly built scenario instance."""
+    seed = config.seed if seed is None else seed
+    devices, test, trace, model_factory = build_scenario(config, seed)
+    trainer = HFLTrainer(
+        model_factory=model_factory,
+        device_datasets=devices,
+        trace=trace,
+        sampler=make_sampler(sampler_name, config),
+        config=HFLConfig(
+            learning_rate=config.learning_rate,
+            local_epochs=config.local_epochs,
+            batch_size=config.batch_size,
+            sync_interval=config.sync_interval,
+            participation_fraction=config.participation_fraction,
+            aggregation=config.aggregation,
+            seed=seed,
+        ),
+        test_dataset=test,
+    )
+    return trainer.run(
+        config.num_steps,
+        target_accuracy=config.target_accuracy,
+        stop_at_target=stop_at_target,
+    )
+
+
+@dataclass
+class ComparisonReport:
+    """Aggregated multi-sampler, multi-repeat comparison on one scenario."""
+
+    config: ScenarioConfig
+    results: Dict[str, List[TrainingResult]] = field(default_factory=dict)
+
+    def mean_accuracy_curve(self, sampler: str) -> Tuple[List[int], List[float]]:
+        """Repeat-averaged accuracy series (the paper smooths over 3 runs)."""
+        runs = self.results[sampler]
+        steps = runs[0].history.steps
+        matrix = np.array([run.history.accuracy[: len(steps)] for run in runs])
+        return list(steps), list(matrix.mean(axis=0))
+
+    def mean_time_to_accuracy(
+        self, sampler: str, target: Optional[float] = None
+    ) -> Optional[float]:
+        """Repeat-averaged steps-to-target; None when any repeat misses it."""
+        target = self.config.target_accuracy if target is None else target
+        times = [run.time_to_accuracy(target) for run in self.results[sampler]]
+        if any(t is None for t in times):
+            return None
+        return float(np.mean(times))
+
+    def best_baseline(
+        self, target: Optional[float] = None, exclude: Sequence[str] = ("mach", "mach_p")
+    ) -> Tuple[Optional[str], Optional[float]]:
+        """The fastest non-MACH strategy (the paper's underlined column)."""
+        best_name, best_time = None, None
+        for name in self.results:
+            if name in exclude:
+                continue
+            t = self.mean_time_to_accuracy(name, target)
+            if t is not None and (best_time is None or t < best_time):
+                best_name, best_time = name, t
+        return best_name, best_time
+
+    def mach_savings_percent(self, target: Optional[float] = None) -> Optional[float]:
+        """Paper headline: % of time steps MACH saves vs the best baseline."""
+        mach_time = self.mean_time_to_accuracy("mach", target)
+        _name, base_time = self.best_baseline(target)
+        if mach_time is None or base_time is None or base_time == 0:
+            return None
+        return 100.0 * (base_time - mach_time) / base_time
+
+    def render(self, target: Optional[float] = None) -> str:
+        """Human-readable summary table."""
+        target = self.config.target_accuracy if target is None else target
+        lines = [
+            f"scenario: task={self.config.task} edges={self.config.num_edges} "
+            f"devices={self.config.num_devices} "
+            f"participation={self.config.participation_fraction:.0%} "
+            f"I={self.config.local_epochs} Tg={self.config.sync_interval} "
+            f"target={target:.2f}",
+            f"{'sampler':<16}{'steps-to-target':>16}{'final acc':>12}{'best acc':>10}",
+        ]
+        for name, runs in self.results.items():
+            t = self.mean_time_to_accuracy(name, target)
+            final = np.mean([run.history.final_accuracy() for run in runs])
+            best = np.mean([run.history.best_accuracy() for run in runs])
+            label = SAMPLER_ABBREVIATIONS.get(name, name)
+            t_str = f"{t:.0f}" if t is not None else "not reached"
+            lines.append(f"{label:<16}{t_str:>16}{final:>12.3f}{best:>10.3f}")
+        savings = self.mach_savings_percent(target)
+        if savings is not None:
+            base_name, _ = self.best_baseline(target)
+            lines.append(
+                f"MACH saves {savings:.2f}% vs best baseline "
+                f"({SAMPLER_ABBREVIATIONS.get(base_name, base_name)})"
+            )
+        return "\n".join(lines)
+
+
+def run_comparison(
+    config: ScenarioConfig,
+    sampler_names: Sequence[str] = SAMPLER_NAMES,
+    repeats: int = 1,
+    stop_at_target: bool = False,
+) -> ComparisonReport:
+    """Run every requested sampler ``repeats`` times on the scenario.
+
+    Each repeat uses seed ``config.seed + r`` for *all* samplers, so the
+    comparison within a repeat shares data, trace and initial model —
+    the paper's "each set of experiments three times and take the
+    average" protocol with paired randomness.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    report = ComparisonReport(config=config)
+    for name in sampler_names:
+        runs = [
+            run_single(config, name, seed=config.seed + r, stop_at_target=stop_at_target)
+            for r in range(repeats)
+        ]
+        report.results[name] = runs
+    return report

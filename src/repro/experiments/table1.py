@@ -1,0 +1,105 @@
+"""Table I: time steps consumed under different local updating epochs I.
+
+The paper's Table I reports, for each task and for local-epoch settings
+{0.8·I, I, 1.2·I}, the time steps MACH / US / CS / SS need to reach (a)
+70% of the target accuracy and (b) the full target, plus the percentage
+of steps MACH saves versus the best (underlined) basic sampler.  Its
+two findings: savings shrink as I grows (longer local training biases
+local updates, degrading the online experience signal), and savings at
+the 70% milestone exceed those at the full target (edge-specific
+sampling helps most early).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import SAMPLER_ABBREVIATIONS, ScenarioConfig
+from repro.experiments.fig3 import scenario_for
+from repro.experiments.report import SweepReport, format_steps, mean_or_none
+from repro.experiments.runner import run_single
+
+#: The paper's Table-I sampler set (MACH-P is excluded there).
+TABLE1_SAMPLERS: Tuple[str, ...] = ("mach", "uniform", "class_balance", "statistical")
+
+#: Local-epoch multipliers of the paper's rows.
+EPOCH_MULTIPLIERS: Tuple[float, ...] = (0.8, 1.0, 1.2)
+
+
+@dataclass
+class Table1Report:
+    """sweeps[(task, milestone)] -> SweepReport over local-epoch settings.
+
+    ``milestone`` is ``"70%"`` or ``"target"``, matching the paper's two
+    row groups per dataset.
+    """
+
+    sweeps: Dict[Tuple[str, str], SweepReport] = field(default_factory=dict)
+
+    def render(self) -> str:
+        blocks = [
+            "=== Table I: time steps under different local updating epochs ==="
+        ]
+        for (task, milestone), sweep in self.sweeps.items():
+            blocks.append(sweep.render())
+        return "\n".join(blocks)
+
+
+def milestone_targets(config: ScenarioConfig) -> Dict[str, float]:
+    """The paper's two accuracy milestones for a scenario."""
+    return {
+        "70%": 0.7 * config.target_accuracy,
+        "target": config.target_accuracy,
+    }
+
+
+def run(
+    preset: str = "bench",
+    tasks: Sequence[str] = ("mnist",),
+    multipliers: Sequence[float] = EPOCH_MULTIPLIERS,
+    sampler_names: Sequence[str] = TABLE1_SAMPLERS,
+    repeats: int = 1,
+) -> Table1Report:
+    """Regenerate Table I for the requested tasks."""
+    report = Table1Report()
+    for task in tasks:
+        base = scenario_for(task, preset)
+        targets = milestone_targets(base)
+        sweeps = {
+            milestone: SweepReport(
+                title=(
+                    f"Table I ({task}, {milestone} milestone = "
+                    f"{target:.2f} accuracy)"
+                ),
+                sweep_name="local_epochs",
+                sweep_values=[],
+                sampler_names=list(sampler_names),
+            )
+            for milestone, target in targets.items()
+        }
+        for multiplier in multipliers:
+            local_epochs = max(1, int(round(base.local_epochs * multiplier)))
+            label = f"{multiplier:.1f}I = {local_epochs}"
+            config = base.with_overrides(local_epochs=local_epochs)
+            for milestone, target in targets.items():
+                sweeps[milestone].sweep_values.append(label)
+            for name in sampler_names:
+                results = [
+                    run_single(config, name, seed=config.seed + r)
+                    for r in range(repeats)
+                ]
+                for milestone, target in targets.items():
+                    times = [r.time_to_accuracy(target) for r in results]
+                    sweeps[milestone].set(label, name, mean_or_none(times))
+        for milestone in targets:
+            report.sweeps[(task, milestone)] = sweeps[milestone]
+    return report
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

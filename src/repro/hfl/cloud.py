@@ -1,0 +1,48 @@
+"""Cloud server: Eq. (6) global aggregation and broadcast."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.hfl.edge import Edge
+from repro.utils.validation import check_positive
+
+
+class Cloud:
+    """Aggregates edge models into the global model ``w^{t+1}`` (Eq. (6)).
+
+    Each edge is weighted by the number of devices it currently
+    coordinates, ``|M^t_n| / |M|``; an edge with no devices this step
+    contributes nothing (its weight is zero).
+    """
+
+    def __init__(self, model_dim: int) -> None:
+        check_positive("model_dim", model_dim)
+        self.model = np.zeros(model_dim)
+
+    def aggregate(self, edges: Sequence[Edge], member_counts: np.ndarray) -> np.ndarray:
+        """Compute ``w^{t+1} = Σ_n (|M^t_n| / |M|) w^{t+1}_n``."""
+        member_counts = np.asarray(member_counts, dtype=float)
+        if member_counts.shape != (len(edges),):
+            raise ValueError(
+                f"member_counts must align with edges: "
+                f"{member_counts.shape} vs {len(edges)}"
+            )
+        if np.any(member_counts < 0):
+            raise ValueError("member counts must be non-negative")
+        total = member_counts.sum()
+        if total == 0:
+            raise ValueError("no devices in the system at this step")
+        aggregate = np.zeros_like(self.model)
+        for edge, count in zip(edges, member_counts):
+            if count > 0:
+                aggregate += (count / total) * edge.model
+        self.model = aggregate
+        return self.model
+
+    def broadcast(self, edges: Sequence[Edge]) -> None:
+        """Distribute the global model to every edge (start of a sync round)."""
+        for edge in edges:
+            edge.set_model(self.model)

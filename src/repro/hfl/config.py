@@ -1,0 +1,110 @@
+"""HFL training configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_fraction, check_membership, check_positive
+
+#: Aggregation variants for Eq. (5) — see :mod:`repro.hfl.edge`.
+AGGREGATION_MODES = ("delta", "model", "normalized", "fedavg")
+
+
+@dataclass
+class HFLConfig:
+    """Parameters of one HFL run (defaults follow §IV-A.2).
+
+    Attributes
+    ----------
+    learning_rate:
+        Device learning rate γ (0.002 for MNIST/FMNIST, 0.02 for
+        CIFAR10 in the paper).
+    local_epochs:
+        Local updating steps I per sampled device per time step (10).
+    batch_size:
+        Minibatch size of each local SGD step (ξ in Eq. (4)).
+    sync_interval:
+        Edge-to-cloud communication interval T_g (5 for MNIST/FMNIST,
+        10 for CIFAR10).
+    participation_fraction:
+        Expected fraction of all devices training per step; each edge's
+        channel capacity is ``K_n = fraction * |M| / |N|`` (the paper's
+        "50% of the devices participating ⇒ average K_n = 5 with 10
+        edges and 100 devices").  Ignored when ``capacity_per_edge`` is
+        given explicitly.
+    capacity_per_edge:
+        Optional explicit K_n vector of length num_edges.
+    aggregation:
+        How Eq. (5) is realized (see :meth:`repro.hfl.edge.Edge.aggregate`):
+
+        - ``"delta"`` (default): edges aggregate inverse-probability-
+          weighted model *updates* on top of the previous edge model.
+          This is the unbiased *gradient* update of Lemma 1 and is the
+          form the Theorem-1 proof actually manipulates (Eq. (19));
+          aggregating raw models would rescale the whole parameter
+          vector by the realized weight sum each step, the
+          "explosive increase / gradient vanishing" failure §III-B.2
+          warns about.
+        - ``"model"``: the literal Eq. (5) (raw-model IPW sum), kept for
+          the faithfulness ablation.
+        - ``"normalized"``: IPW model sum divided by the realized weight
+          sum (the common practical fix; biased but low variance).
+        - ``"fedavg"``: participants' updates averaged with equal
+          weights (no inverse-probability correction).  This is how
+          deployed FL systems aggregate and it makes the sampling
+          strategy *bias* the edge optimization direction toward the
+          sampled devices — the regime in which biased-selection
+          baselines like [14]/[39] (and the paper's reported gains)
+          operate.  The evaluation presets default to it; the IPW modes
+          remain for the theory-faithful pipeline and ablations.
+    eval_interval:
+        Evaluate the global model every this many steps (``None`` ⇒
+        every sync_interval, i.e. at each cloud aggregation).
+    seed:
+        Master seed for all engine randomness.
+    """
+
+    learning_rate: float = 0.01
+    local_epochs: int = 10
+    batch_size: int = 16
+    sync_interval: int = 5
+    participation_fraction: float = 0.5
+    capacity_per_edge: Optional[np.ndarray] = None
+    aggregation: str = "delta"
+    eval_interval: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("learning_rate", self.learning_rate)
+        check_positive("local_epochs", self.local_epochs)
+        check_positive("batch_size", self.batch_size)
+        check_positive("sync_interval", self.sync_interval)
+        check_fraction("participation_fraction", self.participation_fraction)
+        check_membership("aggregation", self.aggregation, AGGREGATION_MODES)
+        if self.eval_interval is not None:
+            check_positive("eval_interval", self.eval_interval)
+        if self.capacity_per_edge is not None:
+            self.capacity_per_edge = np.asarray(self.capacity_per_edge, dtype=float)
+            if np.any(self.capacity_per_edge <= 0):
+                raise ValueError("capacity_per_edge entries must be positive")
+
+    def capacities(self, num_edges: int, num_devices: int) -> np.ndarray:
+        """Resolve the per-edge channel capacities K_n (Eq. (3))."""
+        check_positive("num_edges", num_edges)
+        check_positive("num_devices", num_devices)
+        if self.capacity_per_edge is not None:
+            if self.capacity_per_edge.shape != (num_edges,):
+                raise ValueError(
+                    f"capacity_per_edge must have shape ({num_edges},), got "
+                    f"{self.capacity_per_edge.shape}"
+                )
+            return self.capacity_per_edge
+        per_edge = self.participation_fraction * num_devices / num_edges
+        return np.full(num_edges, per_edge)
+
+    @property
+    def effective_eval_interval(self) -> int:
+        return self.eval_interval if self.eval_interval is not None else self.sync_interval

@@ -1,0 +1,111 @@
+"""Edges: device sampling execution and the Eq. (5) aggregation."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.hfl.device import LocalUpdateResult
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_positive
+
+
+class Edge:
+    """One edge server: holds the edge model ``w^t_n`` between syncs."""
+
+    def __init__(self, edge_id: int, capacity: float, model_dim: int) -> None:
+        check_positive("capacity", capacity)
+        check_positive("model_dim", model_dim)
+        self.edge_id = edge_id
+        self.capacity = float(capacity)
+        self.model = np.zeros(model_dim)
+
+    def set_model(self, flat: np.ndarray) -> None:
+        """Load the edge model (e.g. the broadcast global model)."""
+        flat = np.asarray(flat, dtype=float)
+        if flat.shape != self.model.shape:
+            raise ValueError(
+                f"model must have shape {self.model.shape}, got {flat.shape}"
+            )
+        self.model = flat.copy()
+
+    @staticmethod
+    def draw_participation(
+        probabilities: np.ndarray, rng: RngLike = None
+    ) -> np.ndarray:
+        """Independent Bernoulli draws of the indicators ``1^t_{m,n}``."""
+        probabilities = np.asarray(probabilities, dtype=float)
+        if np.any(probabilities < 0) or np.any(probabilities > 1):
+            raise ValueError("probabilities must be in [0, 1]")
+        rng = as_generator(rng)
+        return rng.random(probabilities.shape) < probabilities
+
+    def aggregate(
+        self,
+        member_devices: Sequence[int],
+        probabilities: np.ndarray,
+        results: Dict[int, LocalUpdateResult],
+        mode: str = "delta",
+    ) -> np.ndarray:
+        """Aggregate the sampled devices' models (Eq. (5)) into ``w^{t+1}_n``.
+
+        Parameters
+        ----------
+        member_devices:
+            The full member set ``M^t_n`` (participants and not).
+        probabilities:
+            The strategy ``Q^t_n`` aligned with ``member_devices``.
+        results:
+            Local-update results keyed by device id, for exactly the
+            devices whose indicator was 1.
+        mode:
+            ``"delta"`` aggregates inverse-probability-weighted model
+            *updates* around the previous edge model — the unbiased
+            gradient updating of Lemma 1, and numerically stable.
+            ``"model"`` is the literal Eq. (5) raw-model sum (its
+            realized weights only sum to 1 in expectation, the variance
+            source §III-B.2 discusses).  ``"normalized"`` divides the
+            raw-model sum by the realized weight total (biased, low
+            variance).  When no member participated, the edge keeps its
+            previous model.
+        """
+        if mode not in ("delta", "model", "normalized", "fedavg"):
+            raise ValueError(f"unknown aggregation mode {mode!r}")
+        probabilities = np.asarray(probabilities, dtype=float)
+        if probabilities.shape != (len(member_devices),):
+            raise ValueError(
+                f"probabilities must align with member_devices: "
+                f"{probabilities.shape} vs {len(member_devices)}"
+            )
+        if not results:
+            return self.model
+
+        member_count = len(member_devices)
+        total_weight = 0.0
+        accumulator = np.zeros_like(self.model)
+        for device_id, q in zip(member_devices, probabilities):
+            result = results.get(device_id)
+            if result is None:
+                continue
+            if q <= 0:
+                raise ValueError(
+                    f"device {device_id} participated with probability {q}"
+                )
+            if mode == "fedavg":
+                weight = 1.0 / len(results)
+            else:
+                weight = 1.0 / (member_count * q)
+            total_weight += weight
+            if mode in ("delta", "fedavg"):
+                accumulator += weight * (result.final_model - self.model)
+            else:
+                accumulator += weight * result.final_model
+
+        if mode in ("delta", "fedavg"):
+            self.model = self.model + accumulator
+        elif mode == "model":
+            self.model = accumulator
+        else:  # normalized
+            self.model = accumulator / total_weight
+        return self.model

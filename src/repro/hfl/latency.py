@@ -1,0 +1,126 @@
+"""Wall-clock latency simulation for HFL rounds.
+
+The paper reports convergence in *time steps*, noting (§IV-B.2) that it
+also "measure[s] the training time cost of achieving the target
+accuracy".  This module converts a run's participation pattern into
+simulated wall-clock time under a standard MEC latency model:
+
+- **compute**: each device ``m`` trains at a heterogeneous speed; one
+  time step costs ``I · batch · flops_per_sample / speed_m`` seconds;
+- **uplink**: a participant uploads the model over its edge's shared
+  channel, ``model_bits / (bandwidth_n / participants)`` — the channel
+  capacity ``K_n`` of Eq. (3) exists exactly because this term grows
+  with the number of concurrent participants;
+- **synchronous rounds**: a step completes when its *slowest*
+  participant finishes (the straggler effect Oort's system utility
+  targets), plus the edge-to-cloud latency every ``T_g`` steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Parameters of the round-latency model.
+
+    Speeds are log-normal across devices (σ = ``speed_sigma``), the
+    usual model for device heterogeneity in FL system papers.
+    """
+
+    compute_seconds_per_step: float = 1.0
+    speed_sigma: float = 0.5
+    model_megabytes: float = 1.0
+    edge_bandwidth_mbps: float = 100.0
+    cloud_round_trip_seconds: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive("compute_seconds_per_step", self.compute_seconds_per_step)
+        if self.speed_sigma < 0:
+            raise ValueError(f"speed_sigma must be >= 0, got {self.speed_sigma}")
+        check_positive("model_megabytes", self.model_megabytes)
+        check_positive("edge_bandwidth_mbps", self.edge_bandwidth_mbps)
+        if self.cloud_round_trip_seconds < 0:
+            raise ValueError("cloud_round_trip_seconds must be >= 0")
+
+
+class LatencySimulator:
+    """Simulates per-step wall-clock latency from participation patterns."""
+
+    def __init__(
+        self,
+        num_devices: int,
+        config: Optional[LatencyConfig] = None,
+        rng: RngLike = None,
+    ) -> None:
+        check_positive("num_devices", num_devices)
+        self.config = config if config is not None else LatencyConfig()
+        rng = as_generator(rng)
+        #: Per-device speed multiplier (1.0 = reference device).
+        self.speeds = rng.lognormal(
+            mean=0.0, sigma=self.config.speed_sigma, size=num_devices
+        )
+
+    def compute_seconds(self, device: int) -> float:
+        """Local-training time of one step on ``device``."""
+        return self.config.compute_seconds_per_step / self.speeds[device]
+
+    def upload_seconds(self, num_concurrent: int) -> float:
+        """Model upload time when ``num_concurrent`` devices share the edge
+        channel equally."""
+        check_positive("num_concurrent", num_concurrent)
+        per_device_mbps = self.config.edge_bandwidth_mbps / num_concurrent
+        return self.config.model_megabytes * 8.0 / per_device_mbps
+
+    def step_seconds(self, participants_per_edge: Dict[int, Sequence[int]]) -> float:
+        """Wall-clock duration of one synchronous time step.
+
+        Edges run in parallel (Algorithm 1 line 2); within an edge the
+        step waits for its slowest participant's compute plus the shared
+        upload.  An idle step (no participants anywhere) costs 0.
+        """
+        edge_times = []
+        for _edge, participants in participants_per_edge.items():
+            if not len(participants):
+                continue
+            slowest = max(self.compute_seconds(m) for m in participants)
+            edge_times.append(slowest + self.upload_seconds(len(participants)))
+        return max(edge_times) if edge_times else 0.0
+
+    def run_seconds(
+        self,
+        participants_per_step: List[Dict[int, Sequence[int]]],
+        sync_interval: int,
+    ) -> np.ndarray:
+        """Cumulative wall-clock time after each step of a run."""
+        check_positive("sync_interval", sync_interval)
+        elapsed = 0.0
+        cumulative = np.zeros(len(participants_per_step))
+        for t, per_edge in enumerate(participants_per_step):
+            elapsed += self.step_seconds(per_edge)
+            if t % sync_interval == 0:
+                elapsed += self.config.cloud_round_trip_seconds
+            cumulative[t] = elapsed
+        return cumulative
+
+    def time_to_step(
+        self,
+        participants_per_step: List[Dict[int, Sequence[int]]],
+        sync_interval: int,
+        step: int,
+    ) -> float:
+        """Simulated seconds until time step ``step`` (1-indexed) completes."""
+        if not 1 <= step <= len(participants_per_step):
+            raise ValueError(
+                f"step must be in [1, {len(participants_per_step)}], got {step}"
+            )
+        return float(
+            self.run_seconds(participants_per_step, sync_interval)[step - 1]
+        )

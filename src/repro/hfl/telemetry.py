@@ -1,0 +1,132 @@
+"""Per-step telemetry for HFL runs.
+
+A :class:`TelemetryRecorder` can be attached to
+:class:`~repro.hfl.trainer.HFLTrainer` to capture, for every (step,
+edge) round: the member set size, the sampling strategy's spread, the
+realized participant count and the participants' gradient statistics.
+The derived metrics — participation fairness, probability concentration
+and per-edge load — power the ablation analyses and let downstream
+users debug sampling strategies without touching the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EdgeRoundRecord:
+    """Telemetry for a single (time step, edge) training round."""
+
+    t: int
+    edge: int
+    num_members: int
+    num_participants: int
+    prob_sum: float
+    prob_max: float
+    prob_min: float
+    mean_grad_sq_norm: Optional[float]
+    mean_loss: Optional[float]
+
+    @property
+    def prob_spread(self) -> float:
+        """max/min probability ratio (1.0 for uniform strategies)."""
+        if self.prob_min <= 0:
+            return float("inf")
+        return self.prob_max / self.prob_min
+
+
+class TelemetryRecorder:
+    """Collects per-round records and computes summary diagnostics."""
+
+    def __init__(self) -> None:
+        self.records: List[EdgeRoundRecord] = []
+        self._participation: Dict[int, int] = {}
+
+    # -- hooks called by the trainer ---------------------------------------
+
+    def record_round(
+        self,
+        t: int,
+        edge: int,
+        members: np.ndarray,
+        probabilities: np.ndarray,
+        participant_ids: List[int],
+        grad_sq_norms: List[float],
+        losses: List[float],
+    ) -> None:
+        if len(members) != len(probabilities):
+            raise ValueError("members and probabilities must align")
+        self.records.append(
+            EdgeRoundRecord(
+                t=t,
+                edge=edge,
+                num_members=len(members),
+                num_participants=len(participant_ids),
+                prob_sum=float(np.sum(probabilities)) if len(probabilities) else 0.0,
+                prob_max=float(np.max(probabilities)) if len(probabilities) else 0.0,
+                prob_min=float(np.min(probabilities)) if len(probabilities) else 0.0,
+                mean_grad_sq_norm=(
+                    float(np.mean(grad_sq_norms)) if grad_sq_norms else None
+                ),
+                mean_loss=float(np.mean(losses)) if losses else None,
+            )
+        )
+        for device in participant_ids:
+            self._participation[device] = self._participation.get(device, 0) + 1
+
+    # -- summaries ----------------------------------------------------------
+
+    def participation_counts(self) -> Dict[int, int]:
+        return dict(self._participation)
+
+    def jain_fairness(self) -> float:
+        """Jain's fairness index of per-device participation counts.
+
+        1.0 means perfectly even participation; 1/n means one device
+        absorbed everything.  Uniform sampling should score high; a
+        sharply biased strategy lower.
+        """
+        counts = np.array(list(self._participation.values()), dtype=float)
+        if counts.size == 0 or counts.sum() == 0:
+            return 1.0
+        return float(counts.sum() ** 2 / (counts.size * np.sum(counts**2)))
+
+    def mean_prob_spread(self) -> float:
+        """Average max/min probability ratio across recorded rounds."""
+        spreads = [
+            r.prob_spread
+            for r in self.records
+            if r.num_members > 0 and np.isfinite(r.prob_spread)
+        ]
+        if not spreads:
+            return 1.0
+        return float(np.mean(spreads))
+
+    def edge_load(self) -> Dict[int, float]:
+        """Mean participants per round for each edge."""
+        totals: Dict[int, List[int]] = {}
+        for record in self.records:
+            totals.setdefault(record.edge, []).append(record.num_participants)
+        return {edge: float(np.mean(v)) for edge, v in totals.items()}
+
+    def capacity_violations(self, tolerance: float = 1e-9) -> int:
+        """Rounds whose probability mass exceeded the recorded budget.
+
+        The trainer clips probabilities into [0, 1], so ``prob_sum``
+        bounded by the member count is structural; this counts rounds
+        where Σq exceeded the number of members (impossible) as a
+        self-check and is expected to return 0.
+        """
+        return sum(
+            1
+            for r in self.records
+            if r.prob_sum > r.num_members + tolerance
+        )
+
+    def loss_series(self) -> List[float]:
+        """Mean participant loss per recorded round (None rounds skipped)."""
+        return [r.mean_loss for r in self.records if r.mean_loss is not None]

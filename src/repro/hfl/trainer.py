@@ -1,0 +1,244 @@
+"""The HFL training loop — Algorithm 1 of the paper.
+
+Per time step ``t``:
+
+1. every edge ``n`` asks the sampler for its strategy ``Q^t_n`` over the
+   devices currently inside it (line 3);
+2. devices draw their participation indicators and, if sampled, run I
+   local SGD steps from the downloaded edge model (lines 5–9) and feed
+   their gradient experiences back to the sampler (line 10);
+3. the edge aggregates with inverse-probability weights (line 11);
+4. every ``T_g`` steps the cloud aggregates edge models into the global
+   model and broadcasts it back (lines 12–13), and the sampler is
+   notified (MACH refreshes its UCB estimates on this clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.hfl.cloud import Cloud
+from repro.hfl.config import HFLConfig
+from repro.hfl.device import Device, LocalUpdateResult
+from repro.hfl.edge import Edge
+from repro.hfl.metrics import TrainingHistory, evaluate_accuracy, evaluate_loss
+from repro.hfl.telemetry import TelemetryRecorder
+from repro.mobility.trace import MobilityTrace
+from repro.nn.model import Model
+from repro.sampling.base import DeviceProfile, Sampler
+from repro.utils.rng import SeedSequenceFactory
+
+
+@dataclass
+class TrainingResult:
+    """Everything a benchmark needs from one finished HFL run."""
+
+    sampler_name: str
+    history: TrainingHistory
+    steps_run: int
+    participation_counts: np.ndarray
+    mean_participants_per_step: float
+    reached_target_at: Optional[int] = None
+    #: Per-evaluation probability spread diagnostics (max/min q per edge).
+    diagnostics: Dict[str, float] = field(default_factory=dict)
+
+    def time_to_accuracy(self, target: float) -> Optional[int]:
+        return self.history.time_to_accuracy(target)
+
+
+class HFLTrainer:
+    """Drives Algorithm 1 over a mobility trace with a pluggable sampler."""
+
+    def __init__(
+        self,
+        model_factory: Callable[[np.random.Generator], Model],
+        device_datasets: Sequence[Dataset],
+        trace: MobilityTrace,
+        sampler: Sampler,
+        config: HFLConfig,
+        test_dataset: Dataset,
+        telemetry: Optional["TelemetryRecorder"] = None,
+    ) -> None:
+        if len(device_datasets) != trace.num_devices:
+            raise ValueError(
+                f"trace covers {trace.num_devices} devices but "
+                f"{len(device_datasets)} datasets were given"
+            )
+        if len(test_dataset) == 0:
+            raise ValueError("test dataset is empty")
+        self.config = config
+        self.trace = trace
+        self.sampler = sampler
+        self.test_dataset = test_dataset
+        self.telemetry = telemetry
+
+        seeds = SeedSequenceFactory(config.seed)
+        self._engine_rng = seeds.generator("engine")
+        self._device_rngs = [
+            seeds.generator(f"device/{m}") for m in range(trace.num_devices)
+        ]
+        # One shared scratch network; all model state moves as flat vectors.
+        self.model: Model = model_factory(seeds.generator("model-init"))
+        dim = self.model.num_parameters
+
+        self.devices: List[Device] = [
+            Device(m, ds) for m, ds in enumerate(device_datasets)
+        ]
+        capacities = config.capacities(trace.num_edges, trace.num_devices)
+        self.edges: List[Edge] = [
+            Edge(n, capacities[n], dim) for n in range(trace.num_edges)
+        ]
+        self.cloud = Cloud(dim)
+
+        # Broadcast the common initial model w^0 to cloud and edges.
+        initial = self.model.get_flat()
+        self.cloud.model = initial.copy()
+        for edge in self.edges:
+            edge.set_model(initial)
+
+        profiles = [
+            DeviceProfile(
+                device_id=m,
+                num_samples=len(ds),
+                class_distribution=ds.class_distribution(),
+            )
+            for m, ds in enumerate(device_datasets)
+        ]
+        self.sampler.setup(profiles, trace.num_edges)
+
+    # ------------------------------------------------------------------
+
+    def _train_edge(self, t: int, edge: Edge) -> int:
+        """One edge's round at step ``t``; returns the participant count."""
+        members = self.trace.devices_at(t, edge.edge_id)
+        if members.size == 0:
+            return 0
+        probabilities = self.sampler.probabilities(
+            t, edge.edge_id, members, edge.capacity
+        )
+        probabilities = np.clip(np.asarray(probabilities, dtype=float), 0.0, 1.0)
+
+        if self.sampler.requires_oracle:
+            # MACH-P assumption: the true training experience of every
+            # member is observable this step, participating or not.
+            for m in members:
+                norm = self.devices[m].probe_grad_sq_norm(
+                    edge.model,
+                    self.model,
+                    self.config.batch_size,
+                    rng=self._device_rngs[m],
+                )
+                self.sampler.observe_oracle(t, int(m), norm)
+
+        indicators = Edge.draw_participation(probabilities, rng=self._engine_rng)
+        results: Dict[int, LocalUpdateResult] = {}
+        for m, sampled in zip(members, indicators):
+            if not sampled:
+                continue
+            result = self.devices[m].local_update(
+                edge.model,
+                self.model,
+                self.config.local_epochs,
+                self.config.learning_rate,
+                self.config.batch_size,
+                rng=self._device_rngs[m],
+            )
+            results[int(m)] = result
+            self.sampler.observe_participation(
+                t, int(m), result.grad_sq_norms, result.mean_loss
+            )
+            self._participation_counts[m] += 1
+
+        edge.aggregate(
+            list(members), probabilities, results, mode=self.config.aggregation
+        )
+        if self.telemetry is not None:
+            self.telemetry.record_round(
+                t,
+                edge.edge_id,
+                members,
+                probabilities,
+                list(results.keys()),
+                [r.mean_grad_sq_norm for r in results.values()],
+                [r.mean_loss for r in results.values()],
+            )
+        return len(results)
+
+    def _virtual_global(self, t: int) -> np.ndarray:
+        """Member-count-weighted average of edge models (equals the cloud
+        model right after a sync step)."""
+        counts = np.array(
+            [self.trace.devices_at(t, n).size for n in range(self.trace.num_edges)],
+            dtype=float,
+        )
+        total = counts.sum()
+        aggregate = np.zeros_like(self.cloud.model)
+        for edge, count in zip(self.edges, counts):
+            if count > 0:
+                aggregate += (count / total) * edge.model
+        return aggregate
+
+    def run(
+        self,
+        num_steps: int,
+        target_accuracy: Optional[float] = None,
+        stop_at_target: bool = False,
+    ) -> TrainingResult:
+        """Execute ``num_steps`` time steps of Algorithm 1.
+
+        When ``stop_at_target`` is set and ``target_accuracy`` is
+        reached at an evaluation point, training stops early — the
+        time-to-accuracy experiments use this to avoid paying for the
+        full horizon on fast samplers.
+        """
+        if num_steps <= 0:
+            raise ValueError(f"num_steps must be positive, got {num_steps}")
+        history = TrainingHistory()
+        self._participation_counts = np.zeros(self.trace.num_devices, dtype=int)
+        total_participants = 0
+        reached_at: Optional[int] = None
+        eval_interval = self.config.effective_eval_interval
+
+        steps_run = 0
+        for t in range(num_steps):
+            for edge in self.edges:
+                total_participants += self._train_edge(t, edge)
+
+            if t % self.config.sync_interval == 0:
+                counts = np.array(
+                    [
+                        self.trace.devices_at(t, n).size
+                        for n in range(self.trace.num_edges)
+                    ]
+                )
+                self.cloud.aggregate(self.edges, counts)
+                self.cloud.broadcast(self.edges)
+                self.sampler.on_global_sync(t)
+
+            steps_run = t + 1
+            if steps_run % eval_interval == 0 or steps_run == num_steps:
+                self.model.set_flat(self._virtual_global(t))
+                accuracy = evaluate_accuracy(self.model, self.test_dataset)
+                loss = evaluate_loss(self.model, self.test_dataset)
+                history.record(steps_run, accuracy, loss)
+                if (
+                    target_accuracy is not None
+                    and reached_at is None
+                    and accuracy >= target_accuracy
+                ):
+                    reached_at = steps_run
+                    if stop_at_target:
+                        break
+
+        return TrainingResult(
+            sampler_name=self.sampler.name,
+            history=history,
+            steps_run=steps_run,
+            participation_counts=self._participation_counts.copy(),
+            mean_participants_per_step=total_participants / steps_run,
+            reached_target_at=reached_at,
+        )

@@ -1,0 +1,123 @@
+"""Markov-chain mobility model over edges.
+
+The paper cites the Markov mobility model [23], [24] as the classical
+way to predict device locations when future trajectories are uncertain
+(§II-A).  We provide it both as a trace *generator* (each device walks
+its own chain over edges) and as a *predictor* (k-step occupancy
+probabilities ``P^t_{n,m}``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.mobility.trace import MobilityTrace
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_fraction, check_positive
+
+
+class MarkovMobilityModel:
+    """Discrete-time Markov chain on the edge set.
+
+    Parameters
+    ----------
+    transition:
+        Row-stochastic (num_edges, num_edges) matrix; ``transition[i, j]``
+        is the probability a device at edge ``i`` moves to edge ``j`` in
+        the next time step.
+    """
+
+    def __init__(self, transition: np.ndarray) -> None:
+        transition = np.asarray(transition, dtype=float)
+        if transition.ndim != 2 or transition.shape[0] != transition.shape[1]:
+            raise ValueError(f"transition must be square, got {transition.shape}")
+        if np.any(transition < 0):
+            raise ValueError("transition probabilities must be non-negative")
+        rows = transition.sum(axis=1)
+        if not np.allclose(rows, 1.0, atol=1e-8):
+            raise ValueError(f"transition rows must sum to 1, got {rows}")
+        self.transition = transition
+        self.num_edges = transition.shape[0]
+
+    @classmethod
+    def stay_or_jump(
+        cls,
+        num_edges: int,
+        stay_probability: float = 0.8,
+        rng: RngLike = None,
+        neighbour_bias: float = 0.0,
+    ) -> "MarkovMobilityModel":
+        """A standard parametric chain: stay with probability ``p``, else jump.
+
+        With ``neighbour_bias > 0``, jumps prefer adjacent edge indices
+        (a 1-D ring topology proxy for geographic adjacency); at 0 the
+        jump target is uniform over the other edges.
+        """
+        check_positive("num_edges", num_edges)
+        check_fraction("stay_probability", stay_probability)
+        if num_edges == 1:
+            return cls(np.ones((1, 1)))
+        rng = as_generator(rng)
+        transition = np.zeros((num_edges, num_edges))
+        for i in range(num_edges):
+            weights = np.ones(num_edges)
+            weights[i] = 0.0
+            if neighbour_bias > 0:
+                ring_dist = np.minimum(
+                    np.abs(np.arange(num_edges) - i),
+                    num_edges - np.abs(np.arange(num_edges) - i),
+                )
+                weights = weights * np.exp(-neighbour_bias * (ring_dist - 1))
+                weights[i] = 0.0
+            weights = weights / weights.sum()
+            transition[i] = (1.0 - stay_probability) * weights
+            transition[i, i] = stay_probability
+        return cls(transition)
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Stationary distribution π with π = π P (principal eigenvector)."""
+        values, vectors = np.linalg.eig(self.transition.T)
+        idx = int(np.argmin(np.abs(values - 1.0)))
+        pi = np.real(vectors[:, idx])
+        pi = np.abs(pi)
+        return pi / pi.sum()
+
+    def predict(self, current_edge: int, steps: int = 1) -> np.ndarray:
+        """Occupancy probabilities ``P^{t+steps}_{n,m}`` after ``steps`` moves."""
+        if not 0 <= current_edge < self.num_edges:
+            raise ValueError(
+                f"current_edge must be in [0, {self.num_edges}), got {current_edge}"
+            )
+        check_positive("steps", steps)
+        dist = np.zeros(self.num_edges)
+        dist[current_edge] = 1.0
+        return dist @ np.linalg.matrix_power(self.transition, steps)
+
+    def sample_trace(
+        self,
+        num_steps: int,
+        num_devices: int,
+        rng: RngLike = None,
+        initial: Optional[np.ndarray] = None,
+    ) -> MobilityTrace:
+        """Simulate ``num_devices`` independent chains for ``num_steps`` steps."""
+        check_positive("num_steps", num_steps)
+        check_positive("num_devices", num_devices)
+        rng = as_generator(rng)
+        if initial is None:
+            initial = rng.integers(0, self.num_edges, size=num_devices)
+        initial = np.asarray(initial, dtype=int)
+        if initial.shape != (num_devices,):
+            raise ValueError(
+                f"initial must have shape ({num_devices},), got {initial.shape}"
+            )
+        assignments = np.zeros((num_steps, num_devices), dtype=int)
+        assignments[0] = initial
+        cumulative = np.cumsum(self.transition, axis=1)
+        for t in range(1, num_steps):
+            u = rng.random(num_devices)
+            rows = cumulative[assignments[t - 1]]
+            assignments[t] = (u[:, None] > rows).sum(axis=1)
+        return MobilityTrace(assignments, self.num_edges)

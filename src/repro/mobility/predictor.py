@@ -1,0 +1,125 @@
+"""Per-device trajectory prediction (the ``P^t_{n,m}`` of §II-A).
+
+The paper treats the device→edge indicator ``B^t_{n,m}`` as known,
+noting that when future mobility is uncertain one instead works with
+occupancy probabilities ``P^t_{n,m}`` from a classical predictor such
+as an order-k Markov model [23], [24].  This module provides that
+predictor: it fits per-device transition statistics on a trace prefix
+and emits calibrated next-edge distributions, so MACH can be driven by
+predicted membership when ground-truth traces are unavailable.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.mobility.trace import MobilityTrace
+from repro.utils.validation import check_positive
+
+
+class OrderKMarkovPredictor:
+    """Order-k per-device Markov predictor over edge sequences.
+
+    For each device, counts transitions from each length-k edge-history
+    context to the next edge; prediction returns the Laplace-smoothed
+    empirical distribution for the device's current context, falling
+    back to shorter contexts (k−1, …, 0) when the full context was never
+    observed — the standard back-off scheme.
+    """
+
+    def __init__(self, num_edges: int, order: int = 1, smoothing: float = 1.0) -> None:
+        check_positive("num_edges", num_edges)
+        check_positive("order", order)
+        if smoothing < 0:
+            raise ValueError(f"smoothing must be >= 0, got {smoothing}")
+        self.num_edges = int(num_edges)
+        self.order = int(order)
+        self.smoothing = float(smoothing)
+        # counts[device][k][context_tuple] -> np.ndarray(num_edges)
+        self._counts: Dict[int, Dict[int, Dict[Tuple[int, ...], np.ndarray]]] = {}
+        self._fitted = False
+
+    def fit(self, trace: MobilityTrace) -> "OrderKMarkovPredictor":
+        """Count transitions from every context length 1..order."""
+        if trace.num_edges != self.num_edges:
+            raise ValueError(
+                f"trace has {trace.num_edges} edges, predictor expects "
+                f"{self.num_edges}"
+            )
+        for m in range(trace.num_devices):
+            sequence = trace.assignments[:, m]
+            per_device: Dict[int, Dict[Tuple[int, ...], np.ndarray]] = {
+                k: defaultdict(lambda: np.zeros(self.num_edges))
+                for k in range(1, self.order + 1)
+            }
+            for t in range(1, trace.num_steps):
+                nxt = sequence[t]
+                for k in range(1, self.order + 1):
+                    if t - k < 0:
+                        break
+                    context = tuple(sequence[t - k : t])
+                    per_device[k][context][nxt] += 1
+            self._counts[m] = {k: dict(v) for k, v in per_device.items()}
+        self._fitted = True
+        return self
+
+    def predict(self, device: int, history: Tuple[int, ...]) -> np.ndarray:
+        """Next-edge distribution given the device's recent edge history.
+
+        ``history`` is ordered oldest→newest; only its last ``order``
+        entries are used, with back-off to shorter contexts and finally
+        to the uniform distribution.
+        """
+        if not self._fitted:
+            raise RuntimeError("fit() must be called before predict()")
+        history = tuple(int(h) for h in history)
+        if any(not 0 <= h < self.num_edges for h in history):
+            raise ValueError(f"history contains invalid edge ids: {history}")
+        device_counts = self._counts.get(device, {})
+        for k in range(min(self.order, len(history)), 0, -1):
+            context = history[-k:]
+            counts = device_counts.get(k, {}).get(context)
+            if counts is not None and counts.sum() > 0:
+                smoothed = counts + self.smoothing
+                return smoothed / smoothed.sum()
+        return np.full(self.num_edges, 1.0 / self.num_edges)
+
+    def predict_trace_step(
+        self, trace: MobilityTrace, t: int
+    ) -> np.ndarray:
+        """Matrix ``P^{t+1}`` of shape (num_devices, num_edges) given the
+        trace up to and including step ``t``."""
+        if not 0 <= t < trace.num_steps:
+            raise ValueError(f"t must be in [0, {trace.num_steps}), got {t}")
+        start = max(0, t - self.order + 1)
+        out = np.zeros((trace.num_devices, self.num_edges))
+        for m in range(trace.num_devices):
+            history = tuple(trace.assignments[start : t + 1, m])
+            out[m] = self.predict(m, history)
+        return out
+
+    def evaluate(
+        self, trace: MobilityTrace, start: Optional[int] = None
+    ) -> Dict[str, float]:
+        """Top-1 accuracy and mean log-likelihood on a trace suffix."""
+        if not self._fitted:
+            raise RuntimeError("fit() must be called before evaluate()")
+        start = start if start is not None else trace.num_steps // 2
+        if not 0 < start < trace.num_steps:
+            raise ValueError(f"invalid evaluation start {start}")
+        hits, total, loglik = 0, 0, 0.0
+        for t in range(start, trace.num_steps):
+            probs = self.predict_trace_step(trace, t - 1)
+            actual = trace.assignments[t]
+            predictions = probs.argmax(axis=1)
+            hits += int((predictions == actual).sum())
+            total += trace.num_devices
+            picked = probs[np.arange(trace.num_devices), actual]
+            loglik += float(np.log(np.clip(picked, 1e-12, None)).sum())
+        return {
+            "top1_accuracy": hits / total,
+            "mean_log_likelihood": loglik / total,
+        }

@@ -1,0 +1,119 @@
+"""Random-waypoint mobility over a base-station deployment.
+
+The classical continuous-space mobility model used throughout the MEC
+literature (and the usual alternative to trace replay): each device
+picks a uniform random waypoint in the service area, travels toward it
+at a random speed, pauses, and repeats.  Positions are discretized into
+a device→edge :class:`~repro.mobility.trace.MobilityTrace` through the
+nearest-station/nearest-edge association of §II-A.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.mobility.geo import EdgeMap, cluster_stations, make_station_grid
+from repro.mobility.trace import MobilityTrace
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_positive
+
+
+class RandomWaypointModel:
+    """Random-waypoint walker population in a square service area.
+
+    Parameters
+    ----------
+    area:
+        Side length of the square area (same units as station grids).
+    speed_range:
+        (min, max) travel speed in area-units per time step.
+    pause_range:
+        (min, max) pause duration, in time steps, at each waypoint.
+    """
+
+    def __init__(
+        self,
+        area: float = 100.0,
+        speed_range: Tuple[float, float] = (1.0, 5.0),
+        pause_range: Tuple[float, float] = (0.0, 3.0),
+        rng: RngLike = None,
+    ) -> None:
+        check_positive("area", area)
+        low, high = speed_range
+        if not 0 < low <= high:
+            raise ValueError(f"invalid speed_range {speed_range}")
+        pause_low, pause_high = pause_range
+        if not 0 <= pause_low <= pause_high:
+            raise ValueError(f"invalid pause_range {pause_range}")
+        self.area = float(area)
+        self.speed_range = (float(low), float(high))
+        self.pause_range = (float(pause_low), float(pause_high))
+        self._rng = as_generator(rng)
+
+    def sample_positions(
+        self, num_steps: int, num_devices: int
+    ) -> np.ndarray:
+        """Simulate walker positions; returns (num_steps, num_devices, 2)."""
+        check_positive("num_steps", num_steps)
+        check_positive("num_devices", num_devices)
+        rng = self._rng
+        positions = np.zeros((num_steps, num_devices, 2))
+        current = rng.uniform(0, self.area, size=(num_devices, 2))
+        waypoint = rng.uniform(0, self.area, size=(num_devices, 2))
+        speed = rng.uniform(*self.speed_range, size=num_devices)
+        pause_left = np.zeros(num_devices)
+
+        for t in range(num_steps):
+            positions[t] = current
+            moving = pause_left <= 0
+            delta = waypoint - current
+            distance = np.linalg.norm(delta, axis=1)
+            arrive = moving & (distance <= speed)
+
+            # Advance travellers that do not arrive this step.
+            advancing = moving & ~arrive & (distance > 0)
+            if advancing.any():
+                step_vec = (
+                    delta[advancing]
+                    / distance[advancing, None]
+                    * speed[advancing, None]
+                )
+                current[advancing] = current[advancing] + step_vec
+
+            # Arrivals snap to the waypoint and start pausing.
+            if arrive.any():
+                current[arrive] = waypoint[arrive]
+                pause_left[arrive] = rng.uniform(
+                    *self.pause_range, size=int(arrive.sum())
+                )
+                waypoint[arrive] = rng.uniform(0, self.area, size=(int(arrive.sum()), 2))
+                speed[arrive] = rng.uniform(*self.speed_range, size=int(arrive.sum()))
+
+            pause_left = np.maximum(0.0, pause_left - 1.0)
+        return positions
+
+    def sample_trace(
+        self,
+        num_steps: int,
+        num_devices: int,
+        num_edges: int,
+        edge_map: Optional[EdgeMap] = None,
+        num_stations: Optional[int] = None,
+    ) -> Tuple[MobilityTrace, EdgeMap]:
+        """Positions → nearest-edge association → MobilityTrace.
+
+        Builds a station grid + clustering when no ``edge_map`` is given.
+        """
+        check_positive("num_edges", num_edges)
+        if edge_map is None:
+            num_stations = num_stations or max(10 * num_edges, 50)
+            stations = make_station_grid(num_stations, area=self.area, rng=self._rng)
+            edge_map = cluster_stations(stations, num_edges, rng=self._rng)
+        positions = self.sample_positions(num_steps, num_devices)
+        assignments = np.zeros((num_steps, num_devices), dtype=int)
+        for t in range(num_steps):
+            for m in range(num_devices):
+                assignments[t, m] = edge_map.edge_of_position(*positions[t, m])
+        return MobilityTrace(assignments, edge_map.num_edges), edge_map

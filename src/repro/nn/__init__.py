@@ -1,0 +1,62 @@
+"""A small, self-contained numpy neural-network substrate.
+
+The MACH paper trains its federated models with PyTorch; that framework
+is unavailable in this reproduction environment, so :mod:`repro.nn`
+provides the minimal training stack the paper needs: dense and
+convolutional layers, ReLU / max-pool, softmax cross-entropy, plain SGD
+and the exact CNN architectures of the evaluation section (2 conv + 2 FC
+for MNIST/FMNIST, 3 conv + 2 FC for CIFAR10).
+
+The federated-learning engine interacts with models exclusively through
+flat parameter vectors (:meth:`Model.get_flat` / :meth:`Model.set_flat`)
+and per-step stochastic gradients, which is all the sampling algorithms
+observe.
+"""
+
+from repro.nn.functional import one_hot, softmax
+from repro.nn.layers import (
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.loss import SoftmaxCrossEntropy
+from repro.nn.model import Model, Sequential
+from repro.nn.optim import SGD, Adam, ConstantLR, ExponentialDecayLR, LRSchedule
+from repro.nn.architectures import (
+    build_cifar_cnn,
+    build_logistic_regression,
+    build_mlp,
+    build_mnist_cnn,
+    build_model,
+)
+from repro.nn.parameters import Parameter
+
+__all__ = [
+    "Conv2d",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "Layer",
+    "MaxPool2d",
+    "ReLU",
+    "SoftmaxCrossEntropy",
+    "Model",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "LRSchedule",
+    "ConstantLR",
+    "ExponentialDecayLR",
+    "Parameter",
+    "one_hot",
+    "softmax",
+    "build_mnist_cnn",
+    "build_cifar_cnn",
+    "build_mlp",
+    "build_logistic_regression",
+    "build_model",
+]

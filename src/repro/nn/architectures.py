@@ -1,0 +1,165 @@
+"""The model architectures of the paper's evaluation, plus scaled variants.
+
+Section IV-A.2 of the paper:
+
+- MNIST / FMNIST: CNN with 2 convolutional layers and 2 fully connected
+  layers;
+- CIFAR10: CNN with 3 convolutional layers and 2 fully connected layers.
+
+Exact channel widths are not given in the paper, so we use conventional
+small widths.  Because this reproduction trains in pure numpy on CPU,
+each builder also accepts reduced input resolutions (the synthetic data
+generator can emit 28×28/32×32 "paper" shapes or smaller benchmark
+shapes), and :func:`build_model` exposes a ``scale`` knob that shrinks
+channel widths proportionally without changing the topology.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Dense, Flatten, MaxPool2d, ReLU
+from repro.nn.model import Sequential
+from repro.utils.rng import RngLike, as_generator
+
+
+def _pooled(size: int, times: int) -> int:
+    for _ in range(times):
+        size //= 2
+    if size <= 0:
+        raise ValueError(f"input too small for {times} 2x2 pooling stages")
+    return size
+
+
+def build_mnist_cnn(
+    input_shape: Tuple[int, int, int] = (1, 28, 28),
+    num_classes: int = 10,
+    width: int = 8,
+    hidden: int = 64,
+    rng: RngLike = None,
+) -> Sequential:
+    """2 conv + 2 FC CNN used for the MNIST / FMNIST tasks.
+
+    ``width`` is the channel count of the first conv layer (the second
+    doubles it); ``hidden`` is the width of the first FC layer.
+    """
+    rng = as_generator(rng)
+    channels, height, width_px = input_shape
+    out_h = _pooled(height, 2)
+    out_w = _pooled(width_px, 2)
+    return Sequential(
+        [
+            Conv2d(channels, width, kernel_size=3, padding=1, rng=rng, name="conv1"),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(width, width * 2, kernel_size=3, padding=1, rng=rng, name="conv2"),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Dense(width * 2 * out_h * out_w, hidden, rng=rng, name="fc1"),
+            ReLU(),
+            Dense(hidden, num_classes, rng=rng, name="fc2"),
+        ]
+    )
+
+
+def build_cifar_cnn(
+    input_shape: Tuple[int, int, int] = (3, 32, 32),
+    num_classes: int = 10,
+    width: int = 8,
+    hidden: int = 64,
+    rng: RngLike = None,
+) -> Sequential:
+    """3 conv + 2 FC CNN used for the CIFAR10 task."""
+    rng = as_generator(rng)
+    channels, height, width_px = input_shape
+    out_h = _pooled(height, 3)
+    out_w = _pooled(width_px, 3)
+    return Sequential(
+        [
+            Conv2d(channels, width, kernel_size=3, padding=1, rng=rng, name="conv1"),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(width, width * 2, kernel_size=3, padding=1, rng=rng, name="conv2"),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(
+                width * 2, width * 4, kernel_size=3, padding=1, rng=rng, name="conv3"
+            ),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Dense(width * 4 * out_h * out_w, hidden, rng=rng, name="fc1"),
+            ReLU(),
+            Dense(hidden, num_classes, rng=rng, name="fc2"),
+        ]
+    )
+
+
+def build_mlp(
+    input_dim: int,
+    num_classes: int = 10,
+    hidden: Tuple[int, ...] = (64,),
+    rng: RngLike = None,
+) -> Sequential:
+    """Simple MLP over flat features — the fast substrate for unit tests
+    and for the large benchmark sweeps where a CNN would dominate runtime.
+    """
+    rng = as_generator(rng)
+    layers = []
+    prev = input_dim
+    for i, h in enumerate(hidden):
+        layers.append(Dense(prev, h, rng=rng, name=f"fc{i + 1}"))
+        layers.append(ReLU())
+        prev = h
+    layers.append(Dense(prev, num_classes, rng=rng, name=f"fc{len(hidden) + 1}"))
+    return Sequential(layers)
+
+
+def build_logistic_regression(
+    input_dim: int, num_classes: int = 10, rng: RngLike = None
+) -> Sequential:
+    """Multinomial logistic regression — convex, used in theory benches."""
+    rng = as_generator(rng)
+    return Sequential([Dense(input_dim, num_classes, rng=rng, name="linear")])
+
+
+_SCALE_WIDTHS = {"paper": (8, 64), "small": (4, 32), "tiny": (2, 16)}
+
+
+def build_model(
+    task: str,
+    input_shape: Tuple[int, ...],
+    num_classes: int = 10,
+    scale: str = "small",
+    rng: RngLike = None,
+) -> Sequential:
+    """Build the paper architecture for ``task`` at the given ``scale``.
+
+    Parameters
+    ----------
+    task:
+        ``"mnist"``, ``"fmnist"`` (2-conv CNN), ``"cifar10"`` (3-conv
+        CNN) or ``"mlp"`` (flat-feature fallback).
+    input_shape:
+        (C, H, W) for CNN tasks, (F,) for ``"mlp"``.
+    scale:
+        ``"paper"`` / ``"small"`` / ``"tiny"`` channel-width presets.
+    """
+    if scale not in _SCALE_WIDTHS:
+        raise ValueError(f"unknown scale {scale!r}; choose from {list(_SCALE_WIDTHS)}")
+    width, hidden = _SCALE_WIDTHS[scale]
+    if task in ("mnist", "fmnist"):
+        return build_mnist_cnn(
+            tuple(input_shape), num_classes, width=width, hidden=hidden, rng=rng
+        )
+    if task == "cifar10":
+        return build_cifar_cnn(
+            tuple(input_shape), num_classes, width=width, hidden=hidden, rng=rng
+        )
+    if task == "mlp":
+        (input_dim,) = input_shape
+        return build_mlp(input_dim, num_classes, hidden=(hidden,), rng=rng)
+    raise ValueError(f"unknown task {task!r}")

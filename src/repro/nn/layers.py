@@ -1,0 +1,265 @@
+"""Feed-forward layers with explicit forward/backward passes.
+
+All layers follow the same contract:
+
+- ``forward(x, training)`` consumes a batch and caches whatever the
+  backward pass needs;
+- ``backward(grad_out)`` consumes the gradient of the loss w.r.t. the
+  layer output, *accumulates* parameter gradients into
+  ``Parameter.grad`` and returns the gradient w.r.t. the layer input.
+
+Shapes are batch-first throughout: dense layers work on (B, F) and
+convolutional layers on (B, C, H, W).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.functional import col2im, conv_output_size, im2col
+from repro.nn.parameters import Parameter
+
+
+class Layer:
+    """Base class; stateless layers only override forward/backward."""
+
+    def parameters(self) -> List[Parameter]:
+        """Trainable parameters of this layer (empty for stateless layers)."""
+        return []
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = x @ W + b``.
+
+    Weights use He-uniform initialization, appropriate for the ReLU
+    activations used throughout the paper's CNNs.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "dense",
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"in/out features must be positive, got {in_features}, {out_features}"
+            )
+        rng = rng if rng is not None else np.random.default_rng()
+        bound = np.sqrt(6.0 / in_features)
+        self.weight = Parameter(
+            rng.uniform(-bound, bound, size=(in_features, out_features)),
+            name=f"{name}.weight",
+        )
+        self.bias = Parameter(np.zeros(out_features), name=f"{name}.bias")
+        self._cache_x: Optional[np.ndarray] = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 2:
+            raise ValueError(f"Dense expects (B, F) input, got shape {x.shape}")
+        if training:
+            self._cache_x = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache_x is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        x = self._cache_x
+        self.weight.grad += x.T @ grad_out
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.value.T
+
+
+class ReLU(Layer):
+    """Elementwise rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        mask = x > 0
+        if training:
+            self._mask = mask
+        return np.where(mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return np.where(self._mask, grad_out, 0.0)
+
+
+class Flatten(Layer):
+    """Reshape (B, ...) feature maps to (B, F) vectors."""
+
+    def __init__(self) -> None:
+        self._shape = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_out.reshape(self._shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at evaluation time."""
+
+    def __init__(self, rate: float, rng: Optional[np.random.Generator] = None) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class Conv2d(Layer):
+    """2-D convolution over (B, C, H, W) inputs using im2col.
+
+    Square kernels only, which covers the paper's architectures.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "conv",
+    ) -> None:
+        if min(in_channels, out_channels, kernel_size, stride) <= 0:
+            raise ValueError("conv dimensions must be positive")
+        if padding < 0:
+            raise ValueError(f"padding must be >= 0, got {padding}")
+        rng = rng if rng is not None else np.random.default_rng()
+        fan_in = in_channels * kernel_size * kernel_size
+        bound = np.sqrt(6.0 / fan_in)
+        self.weight = Parameter(
+            rng.uniform(
+                -bound, bound, size=(out_channels, in_channels, kernel_size, kernel_size)
+            ),
+            name=f"{name}.weight",
+        )
+        self.bias = Parameter(np.zeros(out_channels), name=f"{name}.bias")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self._cache = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expects (B, {self.in_channels}, H, W), got {x.shape}"
+            )
+        cols, out_h, out_w = im2col(x, self.kernel_size, self.stride, self.padding)
+        w_mat = self.weight.value.reshape(self.out_channels, -1)
+        # (B, out_c, out_h*out_w) = (out_c, k) @ (B, k, out_h*out_w)
+        out = np.einsum("ok,bkp->bop", w_mat, cols) + self.bias.value[None, :, None]
+        if training:
+            self._cache = (x.shape, cols)
+        return out.reshape(x.shape[0], self.out_channels, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        x_shape, cols = self._cache
+        batch = grad_out.shape[0]
+        grad_mat = grad_out.reshape(batch, self.out_channels, -1)
+
+        w_mat = self.weight.value.reshape(self.out_channels, -1)
+        self.weight.grad += np.einsum("bop,bkp->ok", grad_mat, cols).reshape(
+            self.weight.value.shape
+        )
+        self.bias.grad += grad_mat.sum(axis=(0, 2))
+
+        grad_cols = np.einsum("ok,bop->bkp", w_mat, grad_mat)
+        return col2im(grad_cols, x_shape, self.kernel_size, self.stride, self.padding)
+
+
+class MaxPool2d(Layer):
+    """Non-overlapping square max pooling (stride defaults to kernel size)."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        if kernel_size <= 0:
+            raise ValueError(f"kernel_size must be positive, got {kernel_size}")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        if self.stride != self.kernel_size:
+            raise NotImplementedError(
+                "MaxPool2d currently supports stride == kernel_size only"
+            )
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"MaxPool2d expects (B, C, H, W), got {x.shape}")
+        batch, channels, height, width = x.shape
+        k = self.kernel_size
+        out_h = conv_output_size(height, k, k, 0)
+        out_w = conv_output_size(width, k, k, 0)
+        trimmed = x[:, :, : out_h * k, : out_w * k]
+        windows = trimmed.reshape(batch, channels, out_h, k, out_w, k)
+        windows = windows.transpose(0, 1, 2, 4, 3, 5).reshape(
+            batch, channels, out_h, out_w, k * k
+        )
+        arg = windows.argmax(axis=-1)
+        out = np.take_along_axis(windows, arg[..., None], axis=-1)[..., 0]
+        if training:
+            self._cache = (x.shape, arg, out_h, out_w)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        x_shape, arg, out_h, out_w = self._cache
+        batch, channels, height, width = x_shape
+        k = self.kernel_size
+        grad_windows = np.zeros(
+            (batch, channels, out_h, out_w, k * k), dtype=grad_out.dtype
+        )
+        np.put_along_axis(grad_windows, arg[..., None], grad_out[..., None], axis=-1)
+        grad_windows = grad_windows.reshape(batch, channels, out_h, out_w, k, k)
+        grad_windows = grad_windows.transpose(0, 1, 2, 4, 3, 5).reshape(
+            batch, channels, out_h * k, out_w * k
+        )
+        grad_in = np.zeros(x_shape, dtype=grad_out.dtype)
+        grad_in[:, :, : out_h * k, : out_w * k] = grad_windows
+        return grad_in

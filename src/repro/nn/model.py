@@ -1,0 +1,128 @@
+"""Model containers with flat-parameter-vector access for FL aggregation."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.loss import SoftmaxCrossEntropy
+from repro.nn.parameters import Parameter
+
+
+class Model:
+    """Base model interface used by the HFL engine.
+
+    The engine never inspects layers; it moves models around as flat
+    parameter vectors (:meth:`get_flat` / :meth:`set_flat`) and asks for
+    per-minibatch loss gradients (:meth:`loss_and_grad`).
+    """
+
+    def parameters(self) -> List[Parameter]:
+        raise NotImplementedError
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # ---- flat-vector API ------------------------------------------------
+
+    @property
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def get_flat(self) -> np.ndarray:
+        """Copy all parameters into one flat vector."""
+        params = self.parameters()
+        if not params:
+            return np.zeros(0)
+        return np.concatenate([p.value.ravel() for p in params])
+
+    def set_flat(self, flat: np.ndarray) -> None:
+        """Load parameters from a flat vector produced by :meth:`get_flat`."""
+        flat = np.asarray(flat, dtype=float)
+        if flat.shape != (self.num_parameters,):
+            raise ValueError(
+                f"flat vector has shape {flat.shape}, expected ({self.num_parameters},)"
+            )
+        offset = 0
+        for p in self.parameters():
+            p.value[...] = flat[offset : offset + p.size].reshape(p.shape)
+            offset += p.size
+
+    def get_flat_grad(self) -> np.ndarray:
+        """Copy all accumulated gradients into one flat vector."""
+        params = self.parameters()
+        if not params:
+            return np.zeros(0)
+        return np.concatenate([p.grad.ravel() for p in params])
+
+    def zero_grad(self) -> None:
+        """Reset accumulated gradients on every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ---- training helpers ----------------------------------------------
+
+    def loss_and_grad(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        loss_fn: Optional[SoftmaxCrossEntropy] = None,
+    ) -> Tuple[float, np.ndarray]:
+        """One forward/backward pass; returns (loss, flat gradient).
+
+        Gradients are zeroed first, so the returned vector is exactly the
+        stochastic gradient ``g_m(w, ξ)`` of Eq. (4) for this minibatch.
+        """
+        loss_fn = loss_fn if loss_fn is not None else SoftmaxCrossEntropy()
+        self.zero_grad()
+        logits = self.forward(x, training=True)
+        loss = loss_fn.forward(logits, y)
+        self.backward(loss_fn.backward())
+        return loss, self.get_flat_grad()
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Class predictions for ``x``, evaluated in inference mode."""
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            logits = self.forward(x[start : start + batch_size], training=False)
+            outputs.append(np.argmax(logits, axis=1))
+        if not outputs:
+            return np.zeros(0, dtype=int)
+        return np.concatenate(outputs)
+
+
+class Sequential(Model):
+    """Plain stack of layers executed in order."""
+
+    def __init__(self, layers: Iterable[Layer]) -> None:
+        self.layers: List[Layer] = list(layers)
+        if not self.layers:
+            raise ValueError("Sequential needs at least one layer")
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(type(layer).__name__ for layer in self.layers)
+        return f"Sequential([{inner}], params={self.num_parameters})"

@@ -1,0 +1,151 @@
+"""Optimizers and learning-rate schedules.
+
+The paper trains with plain SGD (Eq. (4)); momentum and weight decay are
+provided for the extension experiments but default to off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.nn.parameters import Parameter
+from repro.utils.validation import check_positive
+
+
+class LRSchedule:
+    """Learning-rate schedule interface: ``lr = schedule(step)``."""
+
+    def __call__(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(LRSchedule):
+    """Fixed learning rate, the paper's default."""
+
+    def __init__(self, lr: float) -> None:
+        self.lr = check_positive("lr", lr)
+
+    def __call__(self, step: int) -> float:
+        return self.lr
+
+
+class ExponentialDecayLR(LRSchedule):
+    """``lr * decay ** (step / decay_steps)`` — optional extension."""
+
+    def __init__(self, lr: float, decay: float, decay_steps: int = 1) -> None:
+        self.lr = check_positive("lr", lr)
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.decay = decay
+        self.decay_steps = int(check_positive("decay_steps", decay_steps))
+
+    def __call__(self, step: int) -> float:
+        return self.lr * self.decay ** (step / self.decay_steps)
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum / weight decay."""
+
+    def __init__(
+        self,
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        schedule: Optional[LRSchedule] = None,
+    ) -> None:
+        check_positive("lr", lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.schedule = schedule if schedule is not None else ConstantLR(lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.step_count = 0
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    @property
+    def lr(self) -> float:
+        """Current learning rate under the schedule."""
+        return self.schedule(self.step_count)
+
+    def step(self, parameters: List[Parameter]) -> None:
+        """Apply one update to ``parameters`` using their ``.grad``."""
+        lr = self.schedule(self.step_count)
+        for p in parameters:
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.value
+            if self.momentum:
+                vel = self._velocity.get(id(p))
+                if vel is None:
+                    vel = np.zeros_like(p.value)
+                vel = self.momentum * vel - lr * grad
+                self._velocity[id(p)] = vel
+                p.value += vel
+            else:
+                p.value -= lr * grad
+        self.step_count += 1
+
+    def reset(self) -> None:
+        """Clear momentum state and the step counter."""
+        self._velocity.clear()
+        self.step_count = 0
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba, 2015) — an extension beyond the
+    paper's plain SGD, available for the optional experiments."""
+
+    def __init__(
+        self,
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        check_positive("lr", lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {beta1}, {beta2}")
+        check_positive("eps", eps)
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.step_count = 0
+        self._first: Dict[int, np.ndarray] = {}
+        self._second: Dict[int, np.ndarray] = {}
+
+    def step(self, parameters: List[Parameter]) -> None:
+        """Apply one bias-corrected Adam update."""
+        self.step_count += 1
+        correction1 = 1.0 - self.beta1**self.step_count
+        correction2 = 1.0 - self.beta2**self.step_count
+        for p in parameters:
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.value
+            m = self._first.get(id(p))
+            v = self._second.get(id(p))
+            if m is None:
+                m = np.zeros_like(p.value)
+                v = np.zeros_like(p.value)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad**2
+            self._first[id(p)] = m
+            self._second[id(p)] = v
+            m_hat = m / correction1
+            v_hat = v / correction2
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset(self) -> None:
+        """Clear moment estimates and the step counter."""
+        self._first.clear()
+        self._second.clear()
+        self.step_count = 0

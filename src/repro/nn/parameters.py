@@ -1,0 +1,34 @@
+"""Trainable parameter container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor together with its accumulated gradient.
+
+    Layers own their :class:`Parameter` objects; optimizers mutate
+    ``value`` in place using ``grad``.  ``grad`` is reset by
+    :meth:`zero_grad` before each backward pass.
+    """
+
+    def __init__(self, value: np.ndarray, name: str = "param") -> None:
+        self.value = np.asarray(value, dtype=float)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self):
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return self.value.size
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"

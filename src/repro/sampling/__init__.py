@@ -1,0 +1,37 @@
+"""Device sampling strategies.
+
+Each strategy maps the devices currently inside an edge (``M^t_n``) to
+per-device sampling probabilities ``q^t_{m,n}`` subject to the edge
+channel capacity ``E[Σ 1^t_{m,n}] ≤ K_n`` (Eq. (3)).  The paper's
+benchmarks (§IV-A.3):
+
+- uniform sampling [22]                  → :class:`UniformSampler`
+- class-balance sampling [38]            → :class:`ClassBalanceSampler`
+- statistical sampling [14], [39]        → :class:`StatisticalSampler`
+- MACH-P (oracle experiences)            → :class:`MACHOracleSampler`
+- MACH (the paper's contribution)        → :class:`repro.core.MACHSampler`
+"""
+
+from repro.sampling.base import (
+    DeviceProfile,
+    Sampler,
+    capped_proportional_probabilities,
+)
+from repro.sampling.uniform import UniformSampler
+from repro.sampling.class_balance import ClassBalanceSampler
+from repro.sampling.statistical import StatisticalSampler
+from repro.sampling.mach_oracle import MACHOracleSampler
+from repro.sampling.oort import OortSampler
+from repro.sampling.power_of_choice import PowerOfChoiceSampler
+
+__all__ = [
+    "DeviceProfile",
+    "Sampler",
+    "capped_proportional_probabilities",
+    "UniformSampler",
+    "ClassBalanceSampler",
+    "StatisticalSampler",
+    "MACHOracleSampler",
+    "OortSampler",
+    "PowerOfChoiceSampler",
+]

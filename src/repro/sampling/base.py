@@ -1,0 +1,80 @@
+"""Sampler interface and shared probability helpers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.utils.probability import capped_proportional_probabilities
+
+__all__ = ["DeviceProfile", "Sampler", "capped_proportional_probabilities"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static, privacy-compatible metadata a sampler may use.
+
+    ``class_distribution`` is the device's label distribution — the
+    class-balance baseline assumes it is reported once at enrolment,
+    exactly as in Fed-CBS [38].
+    """
+
+    device_id: int
+    num_samples: int
+    class_distribution: np.ndarray
+
+
+class Sampler(ABC):
+    """Base class for edge device-sampling strategies.
+
+    Life cycle, driven by :class:`repro.hfl.trainer.HFLTrainer`:
+
+    1. :meth:`setup` once, with the device population metadata;
+    2. each time step, per edge: :meth:`probabilities` →  the engine
+       draws Bernoulli participation from the returned ``q`` vector;
+    3. after each participating device finishes local updating:
+       :meth:`observe_participation` with its per-local-step squared
+       gradient norms (the training experience of Eq. (14));
+    4. samplers with ``requires_oracle = True`` additionally receive
+       :meth:`observe_oracle` for *every* device in the edge each step
+       (the MACH-P "experiences known at every step" assumption);
+    5. at every edge-to-cloud communication step: :meth:`on_global_sync`.
+    """
+
+    #: Human-readable identifier used in experiment reports.
+    name: str = "sampler"
+
+    #: When True, the trainer computes a probe gradient norm for every
+    #: device in every edge each step and feeds it to observe_oracle.
+    requires_oracle: bool = False
+
+    def setup(self, profiles: Sequence[DeviceProfile], num_edges: int) -> None:
+        """Receive the device population before training starts."""
+
+    @abstractmethod
+    def probabilities(
+        self, t: int, edge: int, device_indices: np.ndarray, capacity: float
+    ) -> np.ndarray:
+        """Sampling probabilities ``q^t_{m,n}`` for the devices of one edge.
+
+        Must return a vector aligned with ``device_indices`` whose
+        entries lie in [0, 1] and sum to at most ``capacity`` (Eq. (3)).
+        """
+
+    def observe_participation(
+        self,
+        t: int,
+        device: int,
+        grad_sq_norms: Sequence[float],
+        mean_loss: float,
+    ) -> None:
+        """Feedback after a sampled device completed its I local updates."""
+
+    def observe_oracle(self, t: int, device: int, grad_sq_norm: float) -> None:
+        """Oracle feedback (only called when ``requires_oracle``)."""
+
+    def on_global_sync(self, t: int) -> None:
+        """Called at every edge-to-cloud communication step (t mod Tg == 0)."""

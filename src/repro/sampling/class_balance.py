@@ -1,0 +1,61 @@
+"""Class-balance sampling, after Fed-CBS (Zhang et al., ICML 2023) [38].
+
+Fed-CBS actively selects client groups whose combined dataset is as
+class-balanced as possible.  We implement the probabilistic form used
+in the paper's comparison: each device's weight measures how much its
+data complements the globally under-represented classes, so devices
+holding rare classes are sampled more often and the *expected* selected
+group is class-balanced.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.sampling.base import DeviceProfile, Sampler, capped_proportional_probabilities
+
+
+class ClassBalanceSampler(Sampler):
+    """Sample devices in proportion to their rare-class content.
+
+    With global class frequencies ``p`` (estimated from the enrolled
+    device profiles) and device class distribution ``d_m``, the weight
+    is ``w_m = Σ_c d_m[c] / p[c]`` — the expected inverse global
+    frequency of a sample drawn from the device.  A device holding only
+    the rarest class maximizes the weight; one mirroring the global
+    distribution gets weight ``num_classes``.  ``temperature`` sharpens
+    (``> 1``) or flattens (``< 1``) the preference.
+    """
+
+    name = "class_balance"
+
+    def __init__(self, temperature: float = 1.0) -> None:
+        if temperature <= 0:
+            raise ValueError(f"temperature must be > 0, got {temperature}")
+        self.temperature = temperature
+        self._weights: Optional[np.ndarray] = None
+
+    def setup(self, profiles: Sequence[DeviceProfile], num_edges: int) -> None:
+        if not profiles:
+            raise ValueError("profiles is empty")
+        dists = np.stack([p.class_distribution for p in profiles])
+        sizes = np.array([p.num_samples for p in profiles], dtype=float)
+        global_freq = (dists * sizes[:, None]).sum(axis=0)
+        global_freq = global_freq / global_freq.sum()
+        inverse = 1.0 / np.clip(global_freq, 1e-6, None)
+        raw = dists @ inverse
+        self._weights = np.zeros(max(p.device_id for p in profiles) + 1)
+        for profile, weight in zip(profiles, raw):
+            self._weights[profile.device_id] = weight**self.temperature
+
+    def probabilities(
+        self, t: int, edge: int, device_indices: np.ndarray, capacity: float
+    ) -> np.ndarray:
+        if len(device_indices) == 0:
+            return np.zeros(0)
+        if self._weights is None:
+            raise RuntimeError("setup() must be called before probabilities()")
+        weights = self._weights[np.asarray(device_indices, dtype=int)]
+        return capped_proportional_probabilities(weights, capacity)

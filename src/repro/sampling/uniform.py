@@ -1,0 +1,27 @@
+"""Uniform device sampling — the FedAvg-style baseline [22]."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.base import Sampler
+
+
+class UniformSampler(Sampler):
+    """Every device in the edge gets the same probability ``K_n / |M^t_n|``.
+
+    This is the sampling scheme analysed by Li et al. [22] and the
+    behaviour of vanilla FedAvg under partial participation.  It
+    satisfies Eq. (3) with equality whenever the edge holds at least
+    ``K_n`` devices.
+    """
+
+    name = "uniform"
+
+    def probabilities(
+        self, t: int, edge: int, device_indices: np.ndarray, capacity: float
+    ) -> np.ndarray:
+        n = len(device_indices)
+        if n == 0:
+            return np.zeros(0)
+        return np.full(n, min(1.0, capacity / n))

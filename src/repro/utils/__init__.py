@@ -1,0 +1,18 @@
+"""Shared utilities: seeded RNG management, validation and small math helpers."""
+
+from repro.utils.rng import SeedSequenceFactory, as_generator
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+    check_shape,
+)
+
+__all__ = [
+    "SeedSequenceFactory",
+    "as_generator",
+    "check_fraction",
+    "check_positive",
+    "check_probability_vector",
+    "check_shape",
+]

@@ -1,0 +1,59 @@
+"""Probability-vector helpers shared by sampling strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def capped_proportional_probabilities(
+    weights: np.ndarray, capacity: float
+) -> np.ndarray:
+    """Probabilities proportional to ``weights`` with budget ``capacity``.
+
+    Solves: find ``q`` with ``q_i ∈ [0, 1]``, ``Σ q_i = min(capacity,
+    len(weights))`` and ``q_i ∝ w_i`` among the entries not clipped at 1
+    (water-filling).  This is the standard way to honour Eq. (3) when a
+    raw proportional rule would push some probabilities above 1.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 1:
+        raise ValueError(f"weights must be 1-D, got shape {weights.shape}")
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    check_positive("capacity", capacity)
+    n = weights.shape[0]
+    if n == 0:
+        return np.zeros(0)
+    budget = min(float(capacity), float(n))
+    if weights.sum() == 0:
+        return np.full(n, budget / n)
+
+    q = np.zeros(n)
+    active = np.ones(n, dtype=bool)
+    remaining = budget
+    # Water-filling: repeatedly clip entries that exceed 1 and
+    # redistribute the remaining budget proportionally.
+    for _ in range(n):
+        active_weights = weights * active
+        total = active_weights.sum()
+        if total <= 0:
+            # All remaining weights zero: spread leftover uniformly.
+            zeros = active & (weights == 0)
+            if zeros.any() and remaining > 0:
+                q[zeros] = min(1.0, remaining / zeros.sum())
+            break
+        # Divide before scaling: `remaining * w` can underflow to 0
+        # for subnormal weights even though the ratio w/total is finite.
+        candidate = remaining * (active_weights / total)
+        overflow = active & (candidate >= 1.0)
+        if not overflow.any():
+            q[active] = candidate[active]
+            break
+        q[overflow] = 1.0
+        remaining -= float(overflow.sum())
+        active &= ~overflow
+        if remaining <= 0:
+            break
+    return np.clip(q, 0.0, 1.0)

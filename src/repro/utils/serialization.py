@@ -1,0 +1,92 @@
+"""JSON serialization for training results and experiment reports.
+
+Long benchmark runs should be inspectable after the fact; these helpers
+serialize :class:`~repro.hfl.trainer.TrainingResult` and the comparison
+reports to plain JSON (numpy types coerced), and load them back into
+lightweight dataclass equivalents.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.hfl.metrics import TrainingHistory
+from repro.hfl.trainer import TrainingResult
+
+
+def _coerce(value: Any) -> Any:
+    """Make numpy scalars/arrays JSON-serializable."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): _coerce(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_coerce(v) for v in value]
+    return value
+
+
+def training_result_to_dict(result: TrainingResult) -> Dict[str, Any]:
+    """Serialize a TrainingResult into a JSON-compatible dict."""
+    return _coerce(
+        {
+            "sampler_name": result.sampler_name,
+            "steps_run": result.steps_run,
+            "reached_target_at": result.reached_target_at,
+            "mean_participants_per_step": result.mean_participants_per_step,
+            "participation_counts": result.participation_counts,
+            "history": {
+                "steps": result.history.steps,
+                "accuracy": result.history.accuracy,
+                "loss": result.history.loss,
+            },
+            "diagnostics": result.diagnostics,
+        }
+    )
+
+
+def training_result_from_dict(payload: Dict[str, Any]) -> TrainingResult:
+    """Rebuild a TrainingResult from :func:`training_result_to_dict` output."""
+    required = {"sampler_name", "steps_run", "history", "participation_counts"}
+    missing = required - set(payload)
+    if missing:
+        raise ValueError(f"payload missing keys: {sorted(missing)}")
+    history = TrainingHistory(
+        steps=list(payload["history"]["steps"]),
+        accuracy=list(payload["history"]["accuracy"]),
+        loss=list(payload["history"]["loss"]),
+    )
+    return TrainingResult(
+        sampler_name=payload["sampler_name"],
+        history=history,
+        steps_run=int(payload["steps_run"]),
+        participation_counts=np.asarray(payload["participation_counts"], dtype=int),
+        mean_participants_per_step=float(
+            payload.get("mean_participants_per_step", 0.0)
+        ),
+        reached_target_at=payload.get("reached_target_at"),
+        diagnostics=dict(payload.get("diagnostics", {})),
+    )
+
+
+def save_training_result(result: TrainingResult, path: Union[str, Path]) -> Path:
+    """Write a TrainingResult to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(training_result_to_dict(result), indent=2))
+    return path
+
+
+def load_training_result(path: Union[str, Path]) -> TrainingResult:
+    """Read a TrainingResult JSON file back."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no result file at {path}")
+    return training_result_from_dict(json.loads(path.read_text()))

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic import make_blobs_dataset, make_federated_task
+from repro.mobility.markov import MarkovMobilityModel
+from repro.mobility.trace import MobilityTrace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_dataset(rng) -> Dataset:
+    """60 examples, 16 flat features, 10 classes."""
+    return make_blobs_dataset(60, num_features=16, num_classes=10, rng=rng)
+
+
+@pytest.fixture
+def tiny_federated_task():
+    """8 devices x 30 samples blobs task plus a small test set."""
+    return make_federated_task(
+        "blobs", num_devices=8, samples_per_device=30, test_samples=100, rng=7
+    )
+
+
+@pytest.fixture
+def tiny_trace() -> MobilityTrace:
+    """40-step, 8-device, 3-edge Markov trace."""
+    model = MarkovMobilityModel.stay_or_jump(3, stay_probability=0.7, rng=11)
+    return model.sample_trace(40, 8, rng=13)

@@ -1,0 +1,127 @@
+"""Tests for the time-averaged budget controller (Lyapunov virtual queues)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.budget import BudgetedSampler, TimeAveragedBudget
+from repro.sampling.base import DeviceProfile
+from repro.sampling.uniform import UniformSampler
+
+
+class TestTimeAveragedBudget:
+    def test_initial_budget_relaxed(self):
+        """Empty queue ⇒ the controller allows a burst above K_n."""
+        controller = TimeAveragedBudget(capacity=5.0, control_strength=1.0)
+        assert controller.allowed_budget() > 5.0
+
+    def test_queue_grows_on_overshoot(self):
+        controller = TimeAveragedBudget(capacity=2.0)
+        controller.observe_cost(5.0)
+        assert controller.queue == pytest.approx(3.0)
+
+    def test_queue_drains_on_undershoot(self):
+        controller = TimeAveragedBudget(capacity=2.0)
+        controller.observe_cost(5.0)
+        controller.observe_cost(0.0)
+        assert controller.queue == pytest.approx(1.0)
+
+    def test_queue_never_negative(self):
+        controller = TimeAveragedBudget(capacity=2.0)
+        controller.observe_cost(0.0)
+        assert controller.queue == 0.0
+
+    def test_long_queue_tightens_budget(self):
+        controller = TimeAveragedBudget(capacity=2.0, control_strength=1.0)
+        for _ in range(10):
+            controller.observe_cost(4.0)
+        assert controller.allowed_budget() < 2.0
+
+    def test_budget_respects_bounds(self):
+        controller = TimeAveragedBudget(
+            capacity=2.0, min_budget=0.5, max_budget_factor=2.0
+        )
+        assert controller.allowed_budget() <= 4.0
+        for _ in range(100):
+            controller.observe_cost(4.0)
+        assert controller.allowed_budget() >= 0.5
+
+    def test_average_cost_tracking(self):
+        controller = TimeAveragedBudget(capacity=2.0)
+        controller.observe_cost(1.0)
+        controller.observe_cost(3.0)
+        assert controller.average_cost == pytest.approx(2.0)
+        assert controller.steps == 2
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            TimeAveragedBudget(2.0).observe_cost(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeAveragedBudget(0.0)
+        with pytest.raises(ValueError):
+            TimeAveragedBudget(2.0, max_budget_factor=0.5)
+
+    def test_closed_loop_average_meets_constraint(self):
+        """Driving costs = allowed budget, the long-run average cost must
+        approach K_n (the defining property of the virtual queue)."""
+        controller = TimeAveragedBudget(capacity=3.0, control_strength=2.0)
+        for _ in range(2000):
+            controller.observe_cost(controller.allowed_budget())
+        assert controller.average_cost == pytest.approx(3.0, abs=0.1)
+        assert controller.constraint_satisfied(slack=0.1)
+
+    @given(st.floats(0.5, 10.0), st.floats(0.5, 5.0), st.integers(1, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_queue_bound_implies_average_bound(self, capacity, strength, steps):
+        """Invariant: average_cost ≤ capacity + queue/steps always holds."""
+        rng = np.random.default_rng(int(capacity * 100 + steps))
+        controller = TimeAveragedBudget(capacity, control_strength=strength)
+        for _ in range(steps):
+            controller.observe_cost(float(rng.uniform(0, 2 * capacity)))
+        assert controller.average_cost <= (
+            controller.capacity + controller.queue / controller.steps + 1e-9
+        )
+
+
+class TestBudgetedSampler:
+    def make(self, control_strength=1.0):
+        sampler = BudgetedSampler(UniformSampler(), control_strength=control_strength)
+        profiles = [DeviceProfile(m, 10, np.full(4, 0.25)) for m in range(12)]
+        sampler.setup(profiles, 2)
+        return sampler
+
+    def test_name_and_delegation(self):
+        sampler = self.make()
+        assert sampler.name == "budgeted_uniform"
+        assert sampler.requires_oracle is False
+
+    def test_first_step_can_burst(self):
+        sampler = self.make()
+        q = sampler.probabilities(0, 0, np.arange(10), capacity=3.0)
+        # Empty queue → budget above K_n → Σq above 3.
+        assert q.sum() > 3.0
+
+    def test_long_run_average_respects_capacity(self):
+        sampler = self.make(control_strength=2.0)
+        for t in range(500):
+            sampler.probabilities(t, 0, np.arange(10), capacity=3.0)
+        average = sampler.average_costs()[0]
+        queue = sampler.queue_lengths()[0]
+        assert average <= 3.0 + queue / 500 + 1e-6
+        assert average == pytest.approx(3.0, abs=0.3)
+
+    def test_per_edge_queues_independent(self):
+        sampler = self.make()
+        sampler.probabilities(0, 0, np.arange(10), capacity=1.0)
+        sampler.probabilities(0, 1, np.arange(10), capacity=5.0)
+        queues = sampler.queue_lengths()
+        assert set(queues) == {0, 1}
+
+    def test_probabilities_stay_valid(self):
+        sampler = self.make()
+        for t in range(50):
+            q = sampler.probabilities(t, 0, np.arange(6), capacity=2.0)
+            assert np.all((q >= 0) & (q <= 1))

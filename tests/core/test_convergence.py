@@ -1,0 +1,188 @@
+"""Tests for the Theorem-1 bound and the Problem-1 optima."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.convergence import (
+    bound_minimizing_probabilities,
+    convergence_bound,
+    paper_optimal_probabilities,
+    sampling_objective,
+    virtual_global_model,
+)
+
+
+class TestSamplingObjective:
+    def test_basic_value(self):
+        assert sampling_objective(np.array([1.0, 4.0]), np.array([0.5, 0.5])) == 10.0
+
+    def test_higher_probability_lowers_objective(self):
+        g = np.array([1.0, 1.0])
+        assert sampling_objective(g, np.array([0.9, 0.9])) < sampling_objective(
+            g, np.array([0.1, 0.1])
+        )
+
+    def test_rejects_zero_probability(self):
+        with pytest.raises(ValueError):
+            sampling_objective(np.array([1.0]), np.array([0.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            sampling_objective(np.ones(2), np.full(3, 0.5))
+
+
+class TestConvergenceBound:
+    def _bound(self, q, **overrides):
+        params = dict(
+            g_sq_per_step=[np.array([1.0, 2.0])] * 10,
+            q_per_step=[q] * 10,
+            gamma=0.01,
+            smoothness=1.0,
+            local_epochs=5,
+            sync_interval=5,
+            num_devices=2,
+            f0_minus_fstar=1.0,
+        )
+        params.update(overrides)
+        return convergence_bound(**params)
+
+    def test_positive(self):
+        assert self._bound(np.array([0.5, 0.5])) > 0
+
+    def test_decreasing_in_participation(self):
+        """Remark 1: more participation ⇒ tighter bound."""
+        assert self._bound(np.array([0.9, 0.9])) < self._bound(np.array([0.2, 0.2]))
+
+    def test_increasing_in_sync_interval(self):
+        loose = self._bound(np.array([0.5, 0.5]), sync_interval=20)
+        tight = self._bound(np.array([0.5, 0.5]), sync_interval=2)
+        assert loose > tight
+
+    def test_optimisation_term_shrinks_with_horizon(self):
+        short = self._bound(np.array([0.9, 0.9]))
+        long = convergence_bound(
+            g_sq_per_step=[np.array([1.0, 2.0])] * 100,
+            q_per_step=[np.array([0.9, 0.9])] * 100,
+            gamma=0.01,
+            smoothness=1.0,
+            local_epochs=5,
+            sync_interval=5,
+            num_devices=2,
+            f0_minus_fstar=1.0,
+        )
+        # The 2(f0-f*)/(γIT) term decays with T; per-step sampling term
+        # is constant here, so the long-horizon bound cannot be larger.
+        assert long <= short
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            convergence_bound(
+                [np.ones(2)], [], 0.01, 1.0, 5, 5, 2, 1.0
+            )
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            self._bound(np.array([0.5, 0.5]), f0_minus_fstar=-1.0)
+
+
+class TestPaperOptimalProbabilities:
+    def test_eq13_closed_form(self):
+        g_sq = np.array([1.0, 3.0])
+        q = paper_optimal_probabilities(g_sq, capacity=1.0)
+        np.testing.assert_allclose(q, [0.25, 0.75])
+
+    def test_sums_to_capacity(self):
+        g_sq = np.array([2.0, 5.0, 1.0])
+        assert paper_optimal_probabilities(g_sq, 2.0).sum() == pytest.approx(2.0)
+
+    def test_all_zero_norms_uniform(self):
+        np.testing.assert_allclose(
+            paper_optimal_probabilities(np.zeros(4), 2.0), 0.5
+        )
+
+    def test_can_exceed_one(self):
+        """Eq. (13) is range-unclamped — the issue Algorithm 3 fixes."""
+        q = paper_optimal_probabilities(np.array([100.0, 1.0]), capacity=3.0)
+        assert q[0] > 1.0
+
+
+class TestBoundMinimizingProbabilities:
+    def test_proportional_to_unsquared_norm(self):
+        q = bound_minimizing_probabilities(np.array([1.0, 4.0]), capacity=0.9)
+        # q ∝ G = sqrt(G²): ratio 1:2.
+        assert q[1] / q[0] == pytest.approx(2.0)
+
+    def test_beats_paper_form_on_objective(self):
+        """The true minimizer never loses to Eq. (13) on Σ G²/q."""
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            g_sq = rng.uniform(0.1, 10.0, size=8)
+            capacity = rng.uniform(0.5, 4.0)
+            q_exact = bound_minimizing_probabilities(g_sq, capacity)
+            q_paper = np.clip(paper_optimal_probabilities(g_sq, capacity), 1e-6, 1.0)
+            assert sampling_objective(g_sq, q_exact) <= sampling_objective(
+                g_sq, q_paper
+            ) * (1 + 1e-9)
+
+    @given(
+        st.lists(st.floats(0.01, 50.0), min_size=2, max_size=12),
+        st.floats(0.2, 6.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_optimality_against_random_perturbations(self, g_sq, capacity):
+        """No random feasible strategy improves on the water-filled optimum."""
+        g_sq = np.array(g_sq)
+        q_star = bound_minimizing_probabilities(g_sq, capacity)
+        if np.any(q_star <= 0):
+            return  # degenerate budget; objective undefined for q=0
+        best = sampling_objective(g_sq, q_star)
+        rng = np.random.default_rng(int(g_sq.sum() * 1000) % 2**31)
+        budget = q_star.sum()
+        for _ in range(10):
+            raw = rng.uniform(0.01, 1.0, size=g_sq.size)
+            q = raw * budget / raw.sum()
+            if np.any(q > 1.0):
+                continue
+            assert best <= sampling_objective(g_sq, q) * (1 + 1e-9)
+
+
+class TestVirtualGlobalModel:
+    def test_full_participation_is_average(self):
+        models = np.array([[1.0, 0.0], [0.0, 1.0], [2.0, 2.0], [1.0, 1.0]])
+        edges = np.array([0, 0, 1, 1])
+        result = virtual_global_model(
+            models, edges, np.ones(4), np.ones(4), num_edges=2
+        )
+        np.testing.assert_allclose(result, models.mean(axis=0))
+
+    def test_lemma1_unbiasedness_monte_carlo(self):
+        """E[w̄ | Q] == (1/M) Σ_m w_m over the participation draws."""
+        rng = np.random.default_rng(0)
+        models = rng.normal(size=(6, 3))
+        edges = np.array([0, 0, 0, 1, 1, 2])
+        q = np.array([0.3, 0.9, 0.5, 0.7, 0.4, 0.8])
+        total = np.zeros(3)
+        trials = 20000
+        for _ in range(trials):
+            participation = (rng.random(6) < q).astype(float)
+            total += virtual_global_model(models, edges, participation, q, 3)
+        np.testing.assert_allclose(total / trials, models.mean(axis=0), atol=0.02)
+
+    def test_zero_probability_participant_rejected(self):
+        models = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="probability 0"):
+            virtual_global_model(
+                models,
+                np.array([0, 1]),
+                np.array([1.0, 0.0]),
+                np.array([0.0, 0.5]),
+                2,
+            )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="edge_of_device"):
+            virtual_global_model(
+                np.zeros((2, 2)), np.zeros(3, dtype=int), np.zeros(2), np.ones(2), 1
+            )

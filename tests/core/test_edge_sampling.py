@@ -1,0 +1,138 @@
+"""Tests for Algorithm 3 (edge sampling)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.edge_sampling import (
+    EdgeSamplingConfig,
+    edge_strategy,
+    smooth,
+    virtual_probabilities,
+)
+
+
+class TestVirtualProbabilities:
+    def test_eq16_form(self):
+        q_hat = virtual_probabilities(np.array([1.0, 3.0]), capacity=2.0)
+        np.testing.assert_allclose(q_hat, [0.5, 1.5])
+
+    def test_uniform_when_all_zero(self):
+        np.testing.assert_allclose(
+            virtual_probabilities(np.zeros(4), 2.0), 0.5
+        )
+
+
+class TestSmooth:
+    def test_value_at_zero(self):
+        assert smooth(np.array([0.0]), alpha=2.0, beta=3.0)[0] == pytest.approx(1.0)
+
+    def test_monotone_increasing(self):
+        """Remark 2 requires larger G̃² ⇒ larger probability, so S must be
+        increasing in q̂ (the sign-convention fix documented in the module)."""
+        q_hat = np.linspace(0, 3, 20)
+        s = smooth(q_hat, alpha=2.0, beta=1.5)
+        assert np.all(np.diff(s) > 0)
+
+    def test_bounded_by_one_plus_half_alpha(self):
+        s = smooth(np.array([1000.0]), alpha=4.0, beta=2.0)
+        assert 1.0 <= s[0] <= 1.0 + 4.0 / 2 + 1e-12
+
+    def test_alpha_zero_is_constant_one(self):
+        np.testing.assert_allclose(smooth(np.linspace(0, 5, 7), 0.0, 3.0), 1.0)
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ValueError):
+            smooth(np.array([1.0]), alpha=-1.0, beta=1.0)
+
+
+class TestEdgeSamplingConfig:
+    def test_warmup_ramp(self):
+        config = EdgeSamplingConfig(alpha=4.0, beta=2.0, warmup_steps=10)
+        half = config.at_step(5)
+        assert half.alpha == pytest.approx(2.0)
+        assert half.beta == pytest.approx(1.0)
+        done = config.at_step(10)
+        assert done.alpha == 4.0
+
+    def test_no_warmup_passthrough(self):
+        config = EdgeSamplingConfig(alpha=4.0, beta=2.0)
+        assert config.at_step(0) is config
+
+    def test_warmup_preserves_smoothing_flag(self):
+        config = EdgeSamplingConfig(warmup_steps=10, smoothing_enabled=False)
+        assert config.at_step(3).smoothing_enabled is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EdgeSamplingConfig(alpha=-1.0)
+        with pytest.raises(ValueError):
+            EdgeSamplingConfig(warmup_steps=-1)
+
+
+class TestEdgeStrategy:
+    def test_empty_members(self):
+        assert edge_strategy(np.zeros(0), 2.0, EdgeSamplingConfig()).shape == (0,)
+
+    def test_probabilities_valid_and_budgeted(self):
+        q = edge_strategy(np.array([1.0, 5.0, 2.0]), 2.0, EdgeSamplingConfig())
+        assert np.all(q >= 0) and np.all(q <= 1)
+        assert q.sum() == pytest.approx(2.0)
+
+    def test_monotone_in_estimates(self):
+        g_sq = np.array([0.5, 2.0, 8.0, 1.0])
+        q = edge_strategy(g_sq, 2.0, EdgeSamplingConfig(alpha=4.0, beta=2.0))
+        order = np.argsort(g_sq)
+        assert np.all(np.diff(q[order]) >= -1e-12)
+
+    def test_unexplored_devices_win(self):
+        """A device with an infinite UCB estimate must receive at least as
+        much probability as every explored device."""
+        g_sq = np.array([3.0, np.inf, 1.0])
+        q = edge_strategy(g_sq, 1.5, EdgeSamplingConfig(alpha=4.0, beta=2.0))
+        assert q[1] >= q[0] >= q[2]
+
+    def test_all_unexplored_uniform(self):
+        q = edge_strategy(np.full(4, np.inf), 2.0, EdgeSamplingConfig())
+        np.testing.assert_allclose(q, 0.5)
+
+    def test_alpha_zero_gives_uniform(self):
+        q = edge_strategy(
+            np.array([1.0, 100.0]), 1.0, EdgeSamplingConfig(alpha=0.0, beta=1.0)
+        )
+        np.testing.assert_allclose(q, 0.5)
+
+    def test_smoothing_disabled_is_proportional(self):
+        config = EdgeSamplingConfig(smoothing_enabled=False)
+        q = edge_strategy(np.array([1.0, 3.0]), 0.8, config)
+        np.testing.assert_allclose(q, [0.2, 0.6])
+
+    def test_smoothing_reduces_spread(self):
+        """S(·) must pull probabilities toward uniform relative to the
+        raw proportional allocation (its §III-B.2 purpose)."""
+        g_sq = np.array([0.1, 1.0, 10.0, 100.0])
+        smoothed = edge_strategy(g_sq, 2.0, EdgeSamplingConfig(alpha=2.0, beta=2.0))
+        raw = edge_strategy(g_sq, 2.0, EdgeSamplingConfig(smoothing_enabled=False))
+        spread = lambda q: q.max() / max(q.min(), 1e-12)
+        assert spread(smoothed) < spread(raw)
+
+    def test_rejects_negative_estimates(self):
+        with pytest.raises(ValueError):
+            edge_strategy(np.array([-1.0]), 1.0, EdgeSamplingConfig())
+
+    @given(
+        st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=15),
+        st.floats(0.2, 10.0),
+        st.floats(0.0, 10.0),
+        st.floats(0.0, 10.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_eq3_capacity_invariant(self, g_sq, capacity, alpha, beta):
+        """For any estimates and coefficients: q ∈ [0,1]^n and
+        Σq ≤ capacity (Eq. (3))."""
+        q = edge_strategy(
+            np.array(g_sq), capacity, EdgeSamplingConfig(alpha=alpha, beta=beta)
+        )
+        assert np.all(q >= -1e-12) and np.all(q <= 1 + 1e-12)
+        assert q.sum() <= capacity + 1e-9

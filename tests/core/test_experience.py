@@ -1,0 +1,147 @@
+"""Tests for Algorithm 2 (experience updating / UCB estimation)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.experience import DeviceExperience, ExperienceTracker
+
+
+class TestDeviceExperience:
+    def test_initial_estimate_infinite(self):
+        exp = DeviceExperience(0)
+        assert exp.estimate == math.inf
+
+    def test_record_fills_buffer(self):
+        exp = DeviceExperience(0)
+        exp.record([1.0, 2.0, 3.0])
+        assert exp.buffer == [1.0, 2.0, 3.0]
+        assert exp.participation_count == 1
+
+    def test_record_rejects_empty_or_negative(self):
+        exp = DeviceExperience(0)
+        with pytest.raises(ValueError):
+            exp.record([])
+        with pytest.raises(ValueError):
+            exp.record([-1.0])
+
+    def test_sync_clears_buffer(self):
+        exp = DeviceExperience(0)
+        exp.record([4.0])
+        exp.sync(t=5)
+        assert exp.buffer == []
+
+    def test_exploration_bonus_infinite_before_participation(self):
+        assert DeviceExperience(0).exploration_bonus(10) == math.inf
+
+    def test_exploration_bonus_decays_with_participation(self):
+        exp = DeviceExperience(0)
+        exp.record([1.0])
+        b1 = exp.exploration_bonus(100)
+        exp.record([1.0])
+        exp.record([1.0])
+        b3 = exp.exploration_bonus(100)
+        assert b3 < b1
+
+    def test_exploration_bonus_formula(self):
+        exp = DeviceExperience(0)
+        for _ in range(4):
+            exp.record([1.0])
+        assert exp.exploration_bonus(9) == pytest.approx(math.sqrt(math.log(10) / 4))
+
+    def test_ucb_estimate_combines_terms(self):
+        exp = DeviceExperience(0)
+        exp.record([2.0, 4.0])  # buffer avg 3.0
+        estimate = exp.sync(t=5)
+        assert estimate == pytest.approx(3.0 + math.sqrt(math.log(6) / 1))
+
+    def test_recent_window_tracks_decaying_norms(self):
+        """Default mode: the estimate follows the current window, so a
+        device whose gradients shrink sees its estimate shrink too."""
+        exp = DeviceExperience(0, window="recent")
+        exp.record([100.0])
+        first = exp.sync(t=5)
+        exp.record([1.0])
+        second = exp.sync(t=10)
+        assert second < first
+
+    def test_lifetime_window_freezes_at_max(self):
+        """Literal Eq. (15): the exploitation term is a lifetime max."""
+        exp = DeviceExperience(0, window="lifetime")
+        exp.record([100.0])
+        exp.sync(t=5)
+        exp.record([1.0])
+        second = exp.sync(t=10)
+        assert second >= 100.0
+
+    def test_recent_window_carries_estimate_when_idle(self):
+        exp = DeviceExperience(0, window="recent")
+        exp.record([7.0])
+        first = exp.sync(t=5)
+        # No participation in the next window: exploitation is carried,
+        # the bonus grows with log t.
+        second = exp.sync(t=50)
+        assert second >= first - 1e-12
+
+    def test_window_max_of_running_averages(self):
+        """Within a window the exploitation term is the max over the
+        running buffer averages after each participation."""
+        exp = DeviceExperience(0, window="recent")
+        exp.record([10.0])   # running avg 10
+        exp.record([1.0])    # running avg 5.5
+        estimate = exp.sync(t=3)
+        bonus = math.sqrt(math.log(4) / 2)
+        assert estimate == pytest.approx(10.0 + bonus)
+
+    def test_rejects_unknown_window(self):
+        with pytest.raises(ValueError):
+            DeviceExperience(0, window="sliding")
+
+
+class TestExperienceTracker:
+    def test_estimates_vector(self):
+        tracker = ExperienceTracker(3)
+        tracker.record(1, [2.0])
+        tracker.sync_all(t=5)
+        estimates = tracker.estimates([0, 1, 2])
+        assert estimates[0] == math.inf and estimates[2] == math.inf
+        assert np.isfinite(estimates[1])
+
+    def test_unknown_device_raises(self):
+        tracker = ExperienceTracker(2)
+        with pytest.raises(KeyError):
+            tracker.record(5, [1.0])
+
+    def test_participation_counts(self):
+        tracker = ExperienceTracker(3)
+        tracker.record(0, [1.0])
+        tracker.record(0, [1.0])
+        tracker.record(2, [1.0])
+        np.testing.assert_array_equal(tracker.participation_counts(), [2, 0, 1])
+
+    def test_rejects_non_positive_population(self):
+        with pytest.raises(ValueError):
+            ExperienceTracker(0)
+
+    @given(
+        st.lists(
+            st.lists(st.floats(0.0, 100.0), min_size=1, max_size=5),
+            min_size=1,
+            max_size=10,
+        ),
+        st.integers(2, 50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_estimate_upper_bounds_window_mean(self, rounds, t):
+        """UCB optimism: after participation, the estimate is at least the
+        overall mean of the recorded norms in the window."""
+        exp = DeviceExperience(0, window="recent")
+        everything = []
+        for norms in rounds:
+            exp.record(norms)
+            everything.extend(norms)
+        estimate = exp.sync(t=t)
+        assert estimate >= np.mean(everything) - 1e-9

@@ -1,0 +1,97 @@
+"""Tests for the composed MACH sampler."""
+
+import numpy as np
+import pytest
+
+from repro.core.edge_sampling import EdgeSamplingConfig
+from repro.core.mach import MACHConfig, MACHSampler
+from repro.sampling.base import DeviceProfile
+
+
+def profiles(n=6, classes=4):
+    rng = np.random.default_rng(0)
+    return [
+        DeviceProfile(m, 20, rng.dirichlet(np.ones(classes))) for m in range(n)
+    ]
+
+
+class TestMACHConfig:
+    def test_defaults(self):
+        config = MACHConfig()
+        assert config.sync_interval == 5
+        assert config.ucb_window == "recent"
+
+    def test_rejects_bad_sync_interval(self):
+        with pytest.raises(ValueError):
+            MACHConfig(sync_interval=0)
+
+
+class TestMACHSampler:
+    def test_requires_setup(self):
+        sampler = MACHSampler()
+        with pytest.raises(RuntimeError):
+            sampler.probabilities(0, 0, np.array([0, 1]), 1.0)
+
+    def test_setup_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MACHSampler().setup([], 2)
+
+    def test_initial_strategy_uniform(self):
+        """Before any experience, all devices are unexplored ⇒ uniform."""
+        sampler = MACHSampler()
+        sampler.setup(profiles(), 2)
+        q = sampler.probabilities(0, 0, np.array([0, 1, 2, 3]), 2.0)
+        np.testing.assert_allclose(q, 0.5)
+
+    def test_capacity_respected_always(self):
+        sampler = MACHSampler()
+        sampler.setup(profiles(), 2)
+        for t in range(3):
+            q = sampler.probabilities(t, 0, np.array([0, 1, 2]), 1.5)
+            assert q.sum() <= 1.5 + 1e-9
+            assert np.all((q >= 0) & (q <= 1))
+
+    def test_experience_shifts_probability_to_high_norm_device(self):
+        sampler = MACHSampler(
+            MACHConfig(edge_sampling=EdgeSamplingConfig(alpha=6.0, beta=2.0))
+        )
+        sampler.setup(profiles(), 1)
+        # Device 0 reports large gradients, device 1 small; 2 is explored too.
+        for t in range(3):
+            sampler.observe_participation(t, 0, [100.0] * 5, 2.0)
+            sampler.observe_participation(t, 1, [0.1] * 5, 0.1)
+            sampler.observe_participation(t, 2, [10.0] * 5, 1.0)
+        sampler.on_global_sync(3)
+        q = sampler.probabilities(4, 0, np.array([0, 1, 2]), 1.5)
+        assert q[0] > q[2] > q[1]
+
+    def test_unexplored_device_prioritized_after_sync(self):
+        sampler = MACHSampler()
+        sampler.setup(profiles(), 1)
+        sampler.observe_participation(0, 0, [5.0], 1.0)
+        sampler.observe_participation(0, 1, [5.0], 1.0)
+        sampler.on_global_sync(0)
+        q = sampler.probabilities(1, 0, np.array([0, 1, 2]), 1.0)
+        assert q[2] == q.max()
+
+    def test_estimates_refresh_only_at_sync(self):
+        """Observations between syncs must not change the strategy until
+        on_global_sync runs (Algorithm 2's T_g clock)."""
+        sampler = MACHSampler(
+            MACHConfig(edge_sampling=EdgeSamplingConfig(alpha=6.0, beta=2.0))
+        )
+        sampler.setup(profiles(), 1)
+        for m in range(3):
+            sampler.observe_participation(0, m, [1.0], 1.0)
+        sampler.on_global_sync(0)
+        before = sampler.probabilities(1, 0, np.array([0, 1, 2]), 1.5)
+        sampler.observe_participation(1, 0, [500.0], 3.0)
+        mid = sampler.probabilities(1, 0, np.array([0, 1, 2]), 1.5)
+        np.testing.assert_allclose(mid, before)
+        sampler.on_global_sync(5)
+        after = sampler.probabilities(6, 0, np.array([0, 1, 2]), 1.5)
+        assert after[0] > before[0]
+
+    def test_name(self):
+        assert MACHSampler().name == "mach"
+        assert MACHSampler().requires_oracle is False

@@ -1,0 +1,159 @@
+"""Tests for the real-corpus file-format loaders (IDX / CIFAR-10)."""
+
+import gzip
+import pickle
+import struct
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import (
+    concatenate_datasets,
+    load_cifar10_binary_batch,
+    load_cifar10_pickle_batch,
+    load_idx_images,
+    load_idx_labels,
+    load_mnist_idx,
+)
+from repro.data.synthetic import make_blobs_dataset
+
+
+def write_idx_images(path, images):
+    """Write a uint8 (N, H, W) array in IDX3 format."""
+    count, rows, cols = images.shape
+    with open(path, "wb") as f:
+        f.write(struct.pack(">IIII", 2051, count, rows, cols))
+        f.write(images.astype(np.uint8).tobytes())
+
+
+def write_idx_labels(path, labels):
+    with open(path, "wb") as f:
+        f.write(struct.pack(">II", 2049, len(labels)))
+        f.write(np.asarray(labels, dtype=np.uint8).tobytes())
+
+
+@pytest.fixture
+def idx_pair(tmp_path, rng):
+    images = rng.integers(0, 256, size=(12, 28, 28)).astype(np.uint8)
+    labels = rng.integers(0, 10, size=12).astype(np.uint8)
+    img_path = tmp_path / "train-images-idx3-ubyte"
+    lbl_path = tmp_path / "train-labels-idx1-ubyte"
+    write_idx_images(img_path, images)
+    write_idx_labels(lbl_path, labels)
+    return img_path, lbl_path, images, labels
+
+
+class TestIdxLoaders:
+    def test_round_trip(self, idx_pair):
+        img_path, lbl_path, images, labels = idx_pair
+        loaded = load_idx_images(img_path)
+        assert loaded.shape == (12, 1, 28, 28)
+        np.testing.assert_allclose(loaded[:, 0] * 255.0, images)
+        np.testing.assert_array_equal(load_idx_labels(lbl_path), labels)
+
+    def test_gzip_supported(self, tmp_path, idx_pair):
+        img_path, _lbl, images, _labels = idx_pair
+        gz_path = tmp_path / "images.idx.gz"
+        gz_path.write_bytes(gzip.compress(img_path.read_bytes()))
+        loaded = load_idx_images(gz_path)
+        np.testing.assert_allclose(loaded[:, 0] * 255.0, images)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_idx_images(tmp_path / "nope")
+        with pytest.raises(FileNotFoundError):
+            load_idx_labels(tmp_path / "nope")
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_bytes(struct.pack(">IIII", 9999, 1, 2, 2) + b"\x00" * 4)
+        with pytest.raises(ValueError, match="IDX3"):
+            load_idx_images(path)
+
+    def test_truncated_rejected(self, tmp_path):
+        path = tmp_path / "short"
+        path.write_bytes(struct.pack(">IIII", 2051, 10, 28, 28) + b"\x00" * 5)
+        with pytest.raises(ValueError, match="truncated"):
+            load_idx_images(path)
+
+    def test_load_mnist_idx_dataset(self, idx_pair):
+        img_path, lbl_path, _images, labels = idx_pair
+        ds = load_mnist_idx(img_path, lbl_path)
+        assert len(ds) == 12
+        assert ds.feature_shape == (1, 28, 28)
+        np.testing.assert_array_equal(ds.y, labels)
+        # Normalized: roughly zero-mean, unit-std.
+        assert abs(ds.x.mean()) < 1e-6
+        assert ds.x.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_count_mismatch_rejected(self, tmp_path, rng):
+        img_path = tmp_path / "img"
+        lbl_path = tmp_path / "lbl"
+        write_idx_images(img_path, rng.integers(0, 256, (5, 4, 4)).astype(np.uint8))
+        write_idx_labels(lbl_path, rng.integers(0, 10, 7))
+        with pytest.raises(ValueError, match="mismatch"):
+            load_mnist_idx(img_path, lbl_path)
+
+
+class TestCifarLoaders:
+    def test_binary_batch_round_trip(self, tmp_path, rng):
+        count = 6
+        labels = rng.integers(0, 10, count).astype(np.uint8)
+        pixels = rng.integers(0, 256, size=(count, 3072)).astype(np.uint8)
+        records = b"".join(
+            bytes([labels[i]]) + pixels[i].tobytes() for i in range(count)
+        )
+        path = tmp_path / "data_batch_1.bin"
+        path.write_bytes(records)
+        ds = load_cifar10_binary_batch(path)
+        assert len(ds) == count
+        assert ds.feature_shape == (3, 32, 32)
+        np.testing.assert_array_equal(ds.y, labels)
+
+    def test_binary_batch_bad_size(self, tmp_path):
+        path = tmp_path / "corrupt.bin"
+        path.write_bytes(b"\x00" * 100)
+        with pytest.raises(ValueError, match="not a CIFAR-10"):
+            load_cifar10_binary_batch(path)
+
+    def test_pickle_batch_round_trip(self, tmp_path, rng):
+        count = 4
+        labels = rng.integers(0, 10, count).tolist()
+        data = rng.integers(0, 256, size=(count, 3072)).astype(np.uint8)
+        path = tmp_path / "data_batch_1"
+        with open(path, "wb") as f:
+            pickle.dump({b"data": data, b"labels": labels}, f)
+        ds = load_cifar10_pickle_batch(path)
+        assert len(ds) == count
+        np.testing.assert_array_equal(ds.y, labels)
+
+    def test_pickle_batch_missing_keys(self, tmp_path):
+        path = tmp_path / "weird"
+        with open(path, "wb") as f:
+            pickle.dump({"foo": 1}, f)
+        with pytest.raises(ValueError, match="lacks"):
+            load_cifar10_pickle_batch(path)
+
+    def test_missing_files(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_cifar10_binary_batch(tmp_path / "nope")
+        with pytest.raises(FileNotFoundError):
+            load_cifar10_pickle_batch(tmp_path / "nope")
+
+
+class TestConcatenateDatasets:
+    def test_concatenation(self):
+        a = make_blobs_dataset(5, rng=0)
+        b = make_blobs_dataset(7, rng=1)
+        combined = concatenate_datasets([a, b])
+        assert len(combined) == 12
+
+    def test_incompatible_rejected(self):
+        a = make_blobs_dataset(5, num_features=8, rng=0)
+        b = make_blobs_dataset(5, num_features=16, rng=0)
+        with pytest.raises(ValueError, match="compatible"):
+            concatenate_datasets([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate_datasets([])

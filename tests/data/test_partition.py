@@ -1,0 +1,152 @@
+"""Tests for the Non-IID partitioners."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.partition import (
+    dirichlet_partition,
+    equal_size_dirichlet_partition,
+    long_tailed_class_weights,
+    partition_summary,
+    shard_partition,
+)
+
+
+class TestLongTailedClassWeights:
+    def test_simplex(self):
+        w = long_tailed_class_weights(10, imbalance=4.0)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(w > 0)
+
+    def test_imbalance_ratio_exact(self):
+        w = long_tailed_class_weights(10, imbalance=8.0)
+        assert w[0] / w[-1] == pytest.approx(8.0)
+
+    def test_uniform_at_one(self):
+        np.testing.assert_allclose(long_tailed_class_weights(5, imbalance=1.0), 0.2)
+
+    def test_monotone_decreasing(self):
+        w = long_tailed_class_weights(10, imbalance=4.0)
+        assert np.all(np.diff(w) < 0)
+
+    def test_single_class(self):
+        np.testing.assert_array_equal(long_tailed_class_weights(1, 4.0), [1.0])
+
+    def test_rejects_imbalance_below_one(self):
+        with pytest.raises(ValueError):
+            long_tailed_class_weights(5, imbalance=0.5)
+
+    @given(st.integers(2, 20), st.floats(1.0, 100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_simplex_property(self, classes, imbalance):
+        w = long_tailed_class_weights(classes, imbalance)
+        assert w.sum() == pytest.approx(1.0)
+        assert w[0] / w[-1] == pytest.approx(imbalance, rel=1e-6)
+
+
+class TestEqualSizeDirichletPartition:
+    def test_equal_sizes(self):
+        labels = equal_size_dirichlet_partition(8, 25, 10, alpha=0.5, rng=0)
+        assert len(labels) == 8
+        assert all(lbl.shape == (25,) for lbl in labels)
+
+    def test_labels_in_range(self):
+        labels = equal_size_dirichlet_partition(5, 40, 7, alpha=0.5, rng=1)
+        for lbl in labels:
+            assert lbl.min() >= 0 and lbl.max() < 7
+
+    def test_low_alpha_concentrates(self):
+        concentrated = equal_size_dirichlet_partition(20, 100, 10, alpha=0.05, rng=2)
+        diffuse = equal_size_dirichlet_partition(20, 100, 10, alpha=50.0, rng=2)
+        eff = lambda split: partition_summary(split, 10)["mean_effective_classes"]
+        assert eff(concentrated) < eff(diffuse)
+
+    def test_respects_global_prior_in_expectation(self):
+        prior = long_tailed_class_weights(10, imbalance=6.0)
+        labels = equal_size_dirichlet_partition(
+            200, 100, 10, alpha=1.0, global_prior=prior, rng=3
+        )
+        counts = np.bincount(np.concatenate(labels), minlength=10)
+        empirical = counts / counts.sum()
+        np.testing.assert_allclose(empirical, prior, atol=0.03)
+
+    def test_rejects_bad_prior(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            equal_size_dirichlet_partition(2, 5, 3, global_prior=np.array([1, 1, 1.0]))
+        with pytest.raises(ValueError, match="shape"):
+            equal_size_dirichlet_partition(2, 5, 3, global_prior=np.array([0.5, 0.5]))
+
+    def test_deterministic_under_seed(self):
+        a = equal_size_dirichlet_partition(4, 10, 5, rng=9)
+        b = equal_size_dirichlet_partition(4, 10, 5, rng=9)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestDirichletPartition:
+    def test_partitions_cover_pool(self):
+        labels = np.random.default_rng(0).integers(0, 5, size=200)
+        parts = dirichlet_partition(labels, 6, alpha=0.5, rng=0)
+        all_idx = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(all_idx, np.arange(200))
+
+    def test_parts_are_disjoint(self):
+        labels = np.random.default_rng(1).integers(0, 5, size=150)
+        parts = dirichlet_partition(labels, 5, alpha=0.5, rng=1)
+        seen = set()
+        for part in parts:
+            for i in part:
+                assert i not in seen
+                seen.add(i)
+
+    def test_min_samples_enforced(self):
+        labels = np.random.default_rng(2).integers(0, 10, size=500)
+        parts = dirichlet_partition(labels, 10, alpha=0.3, rng=2, min_samples=5)
+        assert min(len(p) for p in parts) >= 5
+
+    def test_empty_pool_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            dirichlet_partition(np.array([], dtype=int), 3)
+
+
+class TestShardPartition:
+    def test_each_device_gets_shards(self):
+        labels = np.sort(np.random.default_rng(0).integers(0, 10, size=100))
+        parts = shard_partition(labels, 10, shards_per_device=2, rng=0)
+        assert len(parts) == 10
+        all_idx = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(all_idx, np.arange(100))
+
+    def test_devices_see_few_classes(self):
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 10, size=1000)
+        parts = shard_partition(labels, 20, shards_per_device=2, rng=3)
+        classes_per_device = [len(np.unique(labels[p])) for p in parts]
+        # Each device holds 2 contiguous label shards: at most ~3 classes.
+        assert max(classes_per_device) <= 4
+        assert np.mean(classes_per_device) < 3.5
+
+    def test_too_few_examples_raises(self):
+        with pytest.raises(ValueError, match="at least"):
+            shard_partition(np.zeros(5, dtype=int), 3, shards_per_device=2)
+
+
+class TestPartitionSummary:
+    def test_iid_split_has_low_tv(self):
+        rng = np.random.default_rng(0)
+        split = [rng.integers(0, 10, size=500) for _ in range(10)]
+        summary = partition_summary(split, 10)
+        assert summary["mean_tv_distance"] < 0.1
+        assert summary["mean_effective_classes"] > 8
+
+    def test_pathological_split_has_high_tv(self):
+        split = [np.full(100, c % 10) for c in range(10)]
+        summary = partition_summary(split, 10)
+        assert summary["mean_tv_distance"] > 0.8
+        assert summary["mean_effective_classes"] == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            partition_summary([], 10)

@@ -1,0 +1,162 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    TASK_SPECS,
+    SyntheticTaskSpec,
+    make_blobs_dataset,
+    make_federated_task,
+    make_synthetic_image_dataset,
+)
+from repro.nn.architectures import build_mlp
+from repro.nn.loss import SoftmaxCrossEntropy
+
+
+class TestTaskSpecs:
+    def test_paper_shapes(self):
+        assert TASK_SPECS["mnist"].input_shape == (1, 28, 28)
+        assert TASK_SPECS["fmnist"].input_shape == (1, 28, 28)
+        assert TASK_SPECS["cifar10"].input_shape == (3, 32, 32)
+
+    def test_difficulty_ordering(self):
+        """The separation/noise ratio must fall mnist > fmnist > cifar10,
+        mirroring the real corpora's difficulty ordering."""
+        ratio = lambda name: TASK_SPECS[name].separation / TASK_SPECS[name].noise
+        assert ratio("mnist") > ratio("fmnist") > ratio("cifar10")
+
+    def test_scaled_changes_resolution_only(self):
+        spec = TASK_SPECS["cifar10"].scaled(8)
+        assert spec.input_shape == (3, 8, 8)
+        assert spec.separation == TASK_SPECS["cifar10"].separation
+
+
+class TestMakeSyntheticImageDataset:
+    def test_shapes_and_classes(self):
+        ds = make_synthetic_image_dataset("mnist", 30, rng=0)
+        assert ds.x.shape == (30, 1, 28, 28)
+        assert ds.num_classes == 10
+
+    def test_image_size_override(self):
+        ds = make_synthetic_image_dataset("cifar10", 5, image_size=8, rng=0)
+        assert ds.x.shape == (5, 3, 8, 8)
+
+    def test_explicit_labels(self):
+        labels = np.array([3, 3, 7])
+        ds = make_synthetic_image_dataset("mnist", 0, labels=labels, rng=0)
+        np.testing.assert_array_equal(ds.y, labels)
+
+    def test_same_class_geometry_across_datasets(self):
+        """Train and test sets must agree on class prototypes: same-class
+        means across two independently drawn datasets correlate."""
+        a = make_synthetic_image_dataset("mnist", 0, labels=np.full(50, 2), rng=1)
+        b = make_synthetic_image_dataset("mnist", 0, labels=np.full(50, 2), rng=2)
+        mean_a, mean_b = a.x.mean(axis=0).ravel(), b.x.mean(axis=0).ravel()
+        corr = np.corrcoef(mean_a, mean_b)[0, 1]
+        assert corr > 0.8
+
+    def test_distinct_classes_have_distinct_prototypes(self):
+        a = make_synthetic_image_dataset("mnist", 0, labels=np.full(50, 0), rng=1)
+        b = make_synthetic_image_dataset("mnist", 0, labels=np.full(50, 1), rng=1)
+        corr = np.corrcoef(a.x.mean(axis=0).ravel(), b.x.mean(axis=0).ravel())[0, 1]
+        assert abs(corr) < 0.5
+
+    def test_separation_override_scales_signal(self):
+        strong = make_synthetic_image_dataset(
+            "mnist", 0, labels=np.full(80, 1), separation=5.0, noise=0.1, rng=3
+        )
+        weak = make_synthetic_image_dataset(
+            "mnist", 0, labels=np.full(80, 1), separation=0.1, noise=0.1, rng=3
+        )
+        assert np.abs(strong.x.mean(axis=0)).mean() > np.abs(weak.x.mean(axis=0)).mean()
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(ValueError, match="unknown task"):
+            make_synthetic_image_dataset("svhn", 5)
+
+    def test_learnable_by_small_model(self):
+        """A linear model must exceed chance on the mnist-like task."""
+        train = make_synthetic_image_dataset("mnist", 400, image_size=8, rng=0)
+        test = make_synthetic_image_dataset("mnist", 200, image_size=8, rng=1)
+        model = build_mlp(64, num_classes=10, hidden=(32,), rng=np.random.default_rng(0))
+        x = train.x.reshape(len(train), -1)
+        for _ in range(150):
+            _l, g = model.loss_and_grad(x, train.y, SoftmaxCrossEntropy())
+            model.set_flat(model.get_flat() - 0.1 * g)
+        acc = np.mean(model.predict(test.x.reshape(len(test), -1)) == test.y)
+        assert acc > 0.5  # well above the 0.1 chance level
+
+
+class TestMakeBlobsDataset:
+    def test_shapes(self):
+        ds = make_blobs_dataset(25, num_features=8, num_classes=5, rng=0)
+        assert ds.x.shape == (25, 8)
+        assert ds.num_classes == 5
+
+    def test_separation_controls_difficulty(self):
+        easy = make_blobs_dataset(500, separation=6.0, noise=0.5, rng=0)
+        hard = make_blobs_dataset(500, separation=0.1, noise=2.0, rng=0)
+
+        def centroid_spread(ds):
+            centroids = np.stack(
+                [ds.x[ds.y == c].mean(axis=0) for c in range(10) if (ds.y == c).any()]
+            )
+            return np.linalg.norm(centroids - centroids.mean(axis=0), axis=1).mean()
+
+        assert centroid_spread(easy) > centroid_spread(hard)
+
+
+class TestMakeFederatedTask:
+    def test_device_count_and_sizes(self):
+        devices, test = make_federated_task(
+            "blobs", num_devices=6, samples_per_device=20, test_samples=50, rng=0
+        )
+        assert len(devices) == 6
+        assert all(len(d) == 20 for d in devices)
+        assert len(test) == 50
+
+    def test_image_task(self):
+        devices, test = make_federated_task(
+            "mnist", num_devices=3, samples_per_device=5, test_samples=10,
+            image_size=8, rng=0,
+        )
+        assert devices[0].x.shape == (5, 1, 8, 8)
+        assert test.x.shape == (10, 1, 8, 8)
+
+    def test_balanced_test_distribution(self):
+        _d, test = make_federated_task(
+            "blobs", 2, 5, test_samples=100, test_distribution="balanced", rng=0
+        )
+        counts = test.class_counts()
+        assert counts.max() - counts.min() <= 1
+
+    def test_global_test_distribution_is_long_tailed(self):
+        _d, test = make_federated_task(
+            "blobs", 2, 5, test_samples=2000, imbalance=8.0,
+            test_distribution="global", rng=0,
+        )
+        counts = test.class_counts()
+        assert counts[0] > 3 * counts[-1]
+
+    def test_rejects_unknown_test_distribution(self):
+        with pytest.raises(ValueError, match="test_distribution"):
+            make_federated_task("blobs", 2, 5, test_distribution="weird", rng=0)
+
+    def test_rejects_unknown_task(self):
+        with pytest.raises(ValueError, match="unknown task"):
+            make_federated_task("imagenet", 2, 5)
+
+    def test_devices_are_heterogeneous(self):
+        devices, _t = make_federated_task(
+            "blobs", num_devices=10, samples_per_device=50, alpha=0.1, rng=0
+        )
+        dists = np.stack([d.class_distribution() for d in devices])
+        # With alpha=0.1 some devices concentrate heavily on one class.
+        assert dists.max() > 0.6
+
+    def test_deterministic_under_seed(self):
+        d1, t1 = make_federated_task("blobs", 3, 10, test_samples=20, rng=5)
+        d2, t2 = make_federated_task("blobs", 3, 10, test_samples=20, rng=5)
+        np.testing.assert_array_equal(d1[0].x, d2[0].x)
+        np.testing.assert_array_equal(t1.y, t2.y)

@@ -1,0 +1,112 @@
+"""Tests for the experiment scenario configuration and presets."""
+
+import pytest
+
+from repro.core.mach import MACHSampler
+from repro.experiments.config import (
+    PRESETS,
+    SAMPLER_ABBREVIATIONS,
+    SAMPLER_NAMES,
+    ScenarioConfig,
+    make_sampler,
+)
+from repro.sampling import (
+    ClassBalanceSampler,
+    MACHOracleSampler,
+    StatisticalSampler,
+    UniformSampler,
+)
+
+
+class TestScenarioConfig:
+    def test_defaults_valid(self):
+        ScenarioConfig()
+
+    def test_with_overrides_immutable(self):
+        base = ScenarioConfig()
+        derived = base.with_overrides(num_edges=3)
+        assert derived.num_edges == 3
+        assert base.num_edges == 10
+
+    def test_capacity_per_edge(self):
+        config = ScenarioConfig(
+            num_devices=100, num_edges=10, participation_fraction=0.5
+        )
+        assert config.capacity_per_edge == pytest.approx(5.0)  # the paper's K_n
+
+    def test_rejects_more_edges_than_devices(self):
+        with pytest.raises(ValueError, match="at least as many"):
+            ScenarioConfig(num_devices=3, num_edges=5)
+
+    def test_rejects_bad_trace_kind(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(trace_kind="teleport")
+
+
+class TestPresets:
+    def test_all_tasks_have_both_presets(self):
+        for task in ("mnist", "fmnist", "cifar10"):
+            assert f"{task}-paper" in PRESETS
+            assert f"{task}-bench" in PRESETS
+
+    def test_paper_presets_match_section_iv(self):
+        """§IV-A.2 parameters are encoded exactly."""
+        mnist = PRESETS["mnist-paper"]
+        assert mnist.num_devices == 100
+        assert mnist.num_edges == 10
+        assert mnist.participation_fraction == 0.5
+        assert mnist.learning_rate == 0.002
+        assert mnist.sync_interval == 5
+        assert mnist.local_epochs == 10
+        assert mnist.target_accuracy == 0.75
+        cifar = PRESETS["cifar10-paper"]
+        assert cifar.learning_rate == 0.02
+        assert cifar.sync_interval == 10
+        assert cifar.target_accuracy == 0.75
+        assert PRESETS["fmnist-paper"].target_accuracy == 0.65
+
+    def test_bench_presets_are_cpu_sized(self):
+        for task in ("mnist", "fmnist", "cifar10"):
+            bench = PRESETS[f"{task}-bench"]
+            paper = PRESETS[f"{task}-paper"]
+            assert bench.num_devices < paper.num_devices
+            assert bench.image_size is not None
+            assert bench.model_scale == "tiny"
+
+    def test_bench_presets_keep_topology_ratio(self):
+        """devices-per-edge and participation match the paper setting."""
+        for task in ("mnist", "fmnist", "cifar10"):
+            bench = PRESETS[f"{task}-bench"]
+            assert bench.num_devices / bench.num_edges == 10
+            assert bench.participation_fraction == 0.5
+
+
+class TestMakeSampler:
+    def test_all_names_constructible(self):
+        config = ScenarioConfig()
+        expected = {
+            "mach": MACHSampler,
+            "mach_p": MACHOracleSampler,
+            "uniform": UniformSampler,
+            "class_balance": ClassBalanceSampler,
+            "statistical": StatisticalSampler,
+        }
+        assert set(SAMPLER_NAMES) == set(expected)
+        for name, cls in expected.items():
+            assert isinstance(make_sampler(name, config), cls)
+
+    def test_abbreviations_cover_all(self):
+        assert set(SAMPLER_ABBREVIATIONS) == set(SAMPLER_NAMES)
+
+    def test_mach_inherits_scenario_coefficients(self):
+        config = ScenarioConfig(
+            mach_alpha=3.0, mach_beta=1.0, sync_interval=7, mach_ucb_window="lifetime"
+        )
+        sampler = make_sampler("mach", config)
+        assert sampler.config.edge_sampling.alpha == 3.0
+        assert sampler.config.sync_interval == 7
+        assert sampler.config.ucb_window == "lifetime"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown sampler"):
+            make_sampler("oracle9000", ScenarioConfig())

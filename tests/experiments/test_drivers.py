@@ -1,0 +1,150 @@
+"""Fast end-to-end tests of the figure/table/ablation/theory drivers.
+
+Each driver is exercised on a seconds-scale scenario injected through
+monkeypatched presets, verifying structure and rendering rather than
+the (benchmark-scale) scientific shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablations, fig3, fig4, fig5, table1, theory
+from repro.experiments.config import PRESETS, ScenarioConfig
+
+
+TINY = ScenarioConfig(
+    task="blobs",
+    num_devices=8,
+    num_edges=2,
+    samples_per_device=20,
+    test_samples=60,
+    image_size=None,
+    num_steps=12,
+    local_epochs=2,
+    batch_size=8,
+    learning_rate=0.05,
+    sync_interval=4,
+    target_accuracy=0.2,
+    trace_kind="markov",
+    model_scale="tiny",
+)
+
+
+@pytest.fixture(autouse=True)
+def tiny_presets(monkeypatch):
+    monkeypatch.setitem(PRESETS, "blobs-tiny", TINY)
+    monkeypatch.setitem(PRESETS, "mnist-tiny", TINY)
+    yield
+
+
+SAMPLERS = ("mach", "uniform")
+
+
+class TestFig3:
+    def test_run_and_render(self):
+        report = fig3.run(preset="tiny", tasks=("blobs",), sampler_names=SAMPLERS)
+        assert "blobs" in report.reports
+        text = report.render()
+        assert "Figure 3" in text and "curve[mach]" in text
+
+    def test_savings_dict(self):
+        report = fig3.run(preset="tiny", tasks=("blobs",), sampler_names=SAMPLERS)
+        savings = report.savings()
+        assert set(savings) <= {"blobs"}
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="no preset"):
+            fig3.scenario_for("blobs", "nonexistent")
+
+
+class TestFig4:
+    def test_sweep_structure(self):
+        report = fig4.run(
+            preset="tiny", tasks=("blobs",), edge_counts=(2, 4),
+            sampler_names=SAMPLERS,
+        )
+        sweep = report.sweeps["blobs"]
+        assert sweep.sweep_values == [2, 4]
+        for edges in (2, 4):
+            for name in SAMPLERS:
+                assert (edges, name) in sweep.cells
+        assert "Figure 4" in report.render()
+
+
+class TestFig5:
+    def test_sweep_structure(self):
+        report = fig5.run(
+            preset="tiny", tasks=("blobs",), fractions=(0.4, 0.6),
+            sampler_names=SAMPLERS,
+        )
+        sweep = report.sweeps["blobs"]
+        assert sweep.sweep_values == [0.4, 0.6]
+        assert "Figure 5" in report.render()
+
+
+class TestTable1:
+    def test_two_milestones_per_task(self):
+        report = table1.run(
+            preset="tiny", tasks=("blobs",), multipliers=(1.0, 1.5),
+            sampler_names=SAMPLERS,
+        )
+        assert ("blobs", "70%") in report.sweeps
+        assert ("blobs", "target") in report.sweeps
+        sweep = report.sweeps[("blobs", "target")]
+        assert len(sweep.sweep_values) == 2
+        assert "Table I" in report.render()
+
+    def test_milestone_targets(self):
+        targets = table1.milestone_targets(TINY)
+        assert targets["70%"] == pytest.approx(0.14)
+        assert targets["target"] == pytest.approx(0.2)
+
+
+class TestAblations:
+    def test_ucb_ablation(self):
+        report = ablations.run_ucb_ablation(preset="tiny", task="blobs")
+        labels = [row[0] for row in report.rows]
+        assert any("recent" in l for l in labels)
+        assert any("lifetime" in l for l in labels)
+        assert "ABL-UCB" in report.render()
+
+    def test_smoothing_ablation(self):
+        report = ablations.run_smoothing_ablation(
+            preset="tiny", task="blobs", settings=((2.0, 2.0),)
+        )
+        labels = [row[0] for row in report.rows]
+        assert "smoothing disabled" in labels
+        assert report.steps_of("smoothing disabled") is None or isinstance(
+            report.steps_of("smoothing disabled"), float
+        )
+
+    def test_aggregation_ablation(self):
+        report = ablations.run_aggregation_ablation(preset="tiny", task="blobs")
+        labels = [row[0] for row in report.rows]
+        assert {"aggregation=fedavg", "aggregation=model"} <= set(labels)
+
+    def test_steps_of_unknown_raises(self):
+        report = ablations.AblationReport(title="t")
+        with pytest.raises(KeyError):
+            report.steps_of("nope")
+
+
+class TestTheory:
+    def test_objective_ordering(self):
+        objectives = theory.compare_sampling_strategies(
+            num_populations=50, rng=0
+        )
+        assert objectives["bound_minimizing (q ∝ G)"] <= objectives[
+            "paper_eq13 (q ∝ G²)"
+        ]
+        assert objectives["bound_minimizing (q ∝ G)"] <= objectives["uniform"]
+
+    def test_lemma1_bias_small(self):
+        bias = theory.lemma1_monte_carlo(trials=5000, rng=0)
+        assert bias < 0.05
+
+    def test_full_report(self):
+        report = theory.run(rng=1)
+        text = report.render()
+        assert "THEORY" in text and "Lemma-1" in text
+        assert np.isfinite(report.lemma1_max_bias)

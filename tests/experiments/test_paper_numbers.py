@@ -1,0 +1,86 @@
+"""Tests for the transcribed paper numbers (internal consistency)."""
+
+import pytest
+
+from repro.experiments.paper_numbers import (
+    HEADLINE_SAVINGS_RANGE,
+    PAPER_SETUP,
+    TABLE1,
+    Table1Row,
+    paper_shape_claims,
+    table1_rows,
+)
+
+
+class TestTable1Transcription:
+    def test_full_coverage(self):
+        """3 datasets × 2 milestones × 3 epoch settings = 18 rows."""
+        assert len(TABLE1) == 18
+        for dataset in ("mnist", "fmnist", "cifar10"):
+            for milestone in ("70%", "target"):
+                assert len(table1_rows(dataset, milestone)) == 3
+
+    def test_savings_columns_self_consistent(self):
+        """Every printed '- Time Steps %' equals (best − MACH)/best —
+        validating the transcription against the paper's own arithmetic."""
+        for row in TABLE1:
+            assert row.check_consistent(tolerance=0.01), row
+
+    def test_mach_always_fastest(self):
+        for row in TABLE1:
+            assert row.mach < row.best_baseline()
+
+    def test_savings_within_headline_range_at_target(self):
+        """The abstract's 25.00%–56.86% range brackets the Table-I
+        savings at the milestones it cites."""
+        low, high = HEADLINE_SAVINGS_RANGE
+        all_savings = [row.savings_percent for row in TABLE1]
+        assert min(all_savings) <= low + 1e-9
+        assert max(all_savings) <= high + 1e-9
+        # The extreme 56.25% (fmnist 70% 0.8I) sits just under the
+        # headline max, which §IV-B.1 attributes to the Fig.-3 curves.
+        assert max(all_savings) > 50
+
+    def test_savings_shrink_with_local_epochs(self):
+        """§IV-B.4: 'As local updating epochs I increase, the saved time
+        step percentage gradually decreases.'"""
+        for dataset in ("mnist", "fmnist", "cifar10"):
+            for milestone in ("70%", "target"):
+                rows = sorted(
+                    table1_rows(dataset, milestone),
+                    key=lambda r: r.epoch_multiplier,
+                )
+                savings = [r.savings_percent for r in rows]
+                assert savings[0] >= savings[1] >= savings[2], (dataset, milestone)
+
+    def test_all_speed_up_with_more_epochs(self):
+        """§IV-B.4: every sampler consumes fewer steps as I grows."""
+        for dataset in ("mnist", "fmnist", "cifar10"):
+            for milestone in ("70%", "target"):
+                rows = sorted(
+                    table1_rows(dataset, milestone),
+                    key=lambda r: r.epoch_multiplier,
+                )
+                for attr in ("mach", "uniform", "statistical"):
+                    series = [getattr(r, attr) for r in rows]
+                    assert series[0] >= series[2], (dataset, milestone, attr)
+
+    def test_70_percent_savings_exceed_target_savings_on_mnist_fmnist(self):
+        """§IV-B.4's final observation."""
+        for dataset in ("mnist", "fmnist"):
+            early = [r.savings_percent for r in table1_rows(dataset, "70%")]
+            late = [r.savings_percent for r in table1_rows(dataset, "target")]
+            assert min(early) > max(late) - 10  # early generally larger
+            assert sum(early) / 3 > sum(late) / 3
+
+
+class TestSetupAndClaims:
+    def test_setup_matches_section_iv(self):
+        assert PAPER_SETUP["num_devices"] == 100
+        assert PAPER_SETUP["num_edges"] == 10
+        assert PAPER_SETUP["average_capacity"] == 5
+        assert PAPER_SETUP["targets"]["fmnist"] == 0.65
+
+    def test_shape_claims_cover_artifacts(self):
+        claims = paper_shape_claims()
+        assert {"fig3", "fig4", "fig5"} <= set(claims)

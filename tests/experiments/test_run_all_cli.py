@@ -1,0 +1,54 @@
+"""End-to-end tests of the run_all CLI on a seconds-scale preset."""
+
+import pytest
+
+from repro.experiments.config import PRESETS, ScenarioConfig
+from repro.experiments.run_all import main
+
+
+@pytest.fixture(autouse=True)
+def tiny_preset(monkeypatch):
+    tiny = ScenarioConfig(
+        # ≥10 devices so the fig4 edge sweep (up to 10 edges) stays valid.
+        task="blobs", num_devices=12, num_edges=2, samples_per_device=15,
+        test_samples=50, image_size=None, num_steps=8, local_epochs=2,
+        batch_size=8, learning_rate=0.05, sync_interval=4,
+        target_accuracy=0.15, trace_kind="markov", model_scale="tiny",
+    )
+    monkeypatch.setitem(PRESETS, "blobs-tiny", tiny)
+    yield
+
+
+class TestRunAllArtifacts:
+    def test_fig3_via_cli(self, capsys, tmp_path):
+        code = main([
+            "--artifact", "fig3", "--preset", "tiny", "--tasks", "blobs",
+            "--out", str(tmp_path),
+        ])
+        assert code == 0
+        assert "Figure 3" in capsys.readouterr().out
+        assert (tmp_path / "fig3.txt").exists()
+
+    def test_fig4_via_cli(self, capsys):
+        assert main(["--artifact", "fig4", "--preset", "tiny",
+                     "--tasks", "blobs"]) == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_fig5_via_cli(self, capsys):
+        assert main(["--artifact", "fig5", "--preset", "tiny",
+                     "--tasks", "blobs"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_table1_via_cli(self, capsys):
+        assert main(["--artifact", "table1", "--preset", "tiny",
+                     "--tasks", "blobs"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_ablations_via_cli(self, capsys, monkeypatch):
+        # The ablation driver also touches the blobs preset for ABL-AGG.
+        tiny = PRESETS["blobs-tiny"]
+        monkeypatch.setitem(PRESETS, "blobs-tiny", tiny)
+        assert main(["--artifact", "ablations", "--preset", "tiny",
+                     "--tasks", "blobs"]) == 0
+        out = capsys.readouterr().out
+        assert "ABL-UCB" in out and "ABL-AGG" in out

@@ -1,0 +1,174 @@
+"""Tests for the scenario runner and report aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.report import SweepReport, format_steps, mean_or_none
+from repro.experiments.runner import (
+    ComparisonReport,
+    build_scenario,
+    build_trace,
+    run_comparison,
+    run_single,
+)
+from repro.hfl.metrics import TrainingHistory
+from repro.hfl.trainer import TrainingResult
+
+
+def tiny_config(**overrides):
+    """A seconds-scale scenario for exercising the runner end to end."""
+    defaults = dict(
+        task="blobs",
+        num_devices=8,
+        num_edges=2,
+        samples_per_device=20,
+        test_samples=60,
+        image_size=None,
+        num_steps=15,
+        local_epochs=2,
+        batch_size=8,
+        learning_rate=0.05,
+        sync_interval=5,
+        target_accuracy=0.2,
+        trace_kind="markov",
+        model_scale="tiny",
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestBuildScenario:
+    def test_builds_consistent_pieces(self):
+        config = tiny_config()
+        devices, test, trace, model_factory = build_scenario(config)
+        assert len(devices) == 8
+        assert trace.num_devices == 8
+        assert trace.num_edges == 2
+        assert trace.num_steps == 15
+        model = model_factory(np.random.default_rng(0))
+        assert model.forward(test.x[:2], training=False).shape == (2, 10)
+
+    def test_trace_kinds(self):
+        for kind in ("markov", "static", "telecom"):
+            trace = build_trace(tiny_config(trace_kind=kind), seed=0)
+            trace.validate()
+
+    def test_static_trace_has_no_handover(self):
+        trace = build_trace(tiny_config(trace_kind="static"), seed=0)
+        assert trace.handover_rate() == 0.0
+
+    def test_deterministic_per_seed(self):
+        config = tiny_config()
+        d1, t1, tr1, _ = build_scenario(config, seed=5)
+        d2, t2, tr2, _ = build_scenario(config, seed=5)
+        np.testing.assert_array_equal(d1[0].x, d2[0].x)
+        np.testing.assert_array_equal(tr1.assignments, tr2.assignments)
+
+
+class TestRunSingle:
+    def test_produces_result(self):
+        result = run_single(tiny_config(), "uniform")
+        assert isinstance(result, TrainingResult)
+        assert result.steps_run == 15
+
+    def test_stop_at_target_prunes(self):
+        config = tiny_config(num_steps=50, target_accuracy=0.15)
+        result = run_single(config, "uniform", stop_at_target=True)
+        assert result.steps_run <= 50
+        assert result.reached_target_at is not None
+
+    def test_all_samplers_run(self):
+        for name in ("mach", "mach_p", "uniform", "class_balance", "statistical"):
+            result = run_single(tiny_config(), name)
+            assert result.sampler_name == name
+
+
+class TestRunComparison:
+    def test_paired_seeds_across_samplers(self):
+        config = tiny_config()
+        report = run_comparison(config, sampler_names=("uniform", "mach"), repeats=2)
+        assert set(report.results) == {"uniform", "mach"}
+        assert all(len(runs) == 2 for runs in report.results.values())
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            run_comparison(tiny_config(), repeats=0)
+
+    def test_render_contains_all_samplers(self):
+        report = run_comparison(
+            tiny_config(), sampler_names=("uniform", "mach"), repeats=1
+        )
+        text = report.render()
+        assert "US" in text and "MACH" in text
+
+
+class TestComparisonReportMath:
+    def make_report(self, times):
+        """Build a synthetic report with given steps-to-target per sampler."""
+        config = tiny_config(target_accuracy=0.5)
+        report = ComparisonReport(config=config)
+        for name, t in times.items():
+            history = TrainingHistory()
+            history.record(t or 10, 0.6 if t else 0.4, 0.5)
+            report.results[name] = [
+                TrainingResult(
+                    sampler_name=name,
+                    history=history,
+                    steps_run=10,
+                    participation_counts=np.zeros(2, dtype=int),
+                    mean_participants_per_step=1.0,
+                )
+            ]
+        return report
+
+    def test_best_baseline_excludes_mach(self):
+        report = self.make_report({"mach": 5, "uniform": 9, "statistical": 7})
+        name, steps = report.best_baseline()
+        assert name == "statistical" and steps == 7
+
+    def test_savings_percent(self):
+        report = self.make_report({"mach": 6, "uniform": 10})
+        assert report.mach_savings_percent() == pytest.approx(40.0)
+
+    def test_savings_none_when_unreached(self):
+        report = self.make_report({"mach": None, "uniform": 10})
+        assert report.mach_savings_percent() is None
+
+
+class TestSweepReport:
+    def make(self):
+        sweep = SweepReport(
+            title="demo", sweep_name="edges", sweep_values=[2, 5],
+            sampler_names=["mach", "uniform", "statistical"],
+        )
+        sweep.set(2, "mach", 50)
+        sweep.set(2, "uniform", 60)
+        sweep.set(2, "statistical", 80)
+        sweep.set(5, "mach", 40)
+        sweep.set(5, "uniform", 70)
+        sweep.set(5, "statistical", None)
+        return sweep
+
+    def test_best_baseline(self):
+        sweep = self.make()
+        assert sweep.best_baseline(2) == ("uniform", 60)
+        assert sweep.best_baseline(5) == ("uniform", 70)
+
+    def test_savings(self):
+        sweep = self.make()
+        assert sweep.mach_savings_percent(2) == pytest.approx(100 * 10 / 60)
+        series = sweep.savings_series()
+        assert len(series) == 2
+
+    def test_render_contains_rows(self):
+        text = self.make().render()
+        assert "2" in text and "5" in text and "MACH" in text
+
+    def test_format_steps(self):
+        assert format_steps(None) == "-"
+        assert format_steps(12.4) == "12"
+
+    def test_mean_or_none(self):
+        assert mean_or_none([1.0, 3.0]) == 2.0
+        assert mean_or_none([1.0, None]) is None

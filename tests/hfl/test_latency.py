@@ -1,0 +1,91 @@
+"""Tests for the wall-clock latency simulator."""
+
+import numpy as np
+import pytest
+
+from repro.hfl.latency import LatencyConfig, LatencySimulator
+
+
+def homogeneous(num_devices=6, **kwargs):
+    defaults = dict(
+        compute_seconds_per_step=1.0,
+        speed_sigma=0.0,
+        model_megabytes=1.0,
+        edge_bandwidth_mbps=8.0,
+        cloud_round_trip_seconds=2.0,
+    )
+    defaults.update(kwargs)
+    return LatencySimulator(num_devices, LatencyConfig(**defaults), rng=0)
+
+
+class TestLatencyConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyConfig(compute_seconds_per_step=0)
+        with pytest.raises(ValueError):
+            LatencyConfig(speed_sigma=-1)
+        with pytest.raises(ValueError):
+            LatencyConfig(cloud_round_trip_seconds=-1)
+
+
+class TestLatencySimulator:
+    def test_homogeneous_compute(self):
+        sim = homogeneous()
+        assert sim.compute_seconds(0) == pytest.approx(1.0)
+        assert sim.compute_seconds(5) == pytest.approx(1.0)
+
+    def test_heterogeneous_speeds_differ(self):
+        sim = LatencySimulator(20, LatencyConfig(speed_sigma=1.0), rng=0)
+        assert sim.speeds.std() > 0.1
+
+    def test_upload_shares_channel(self):
+        sim = homogeneous()
+        # 1 MB = 8 Mbit over 8 Mbps → 1 s alone; 4 concurrent → 4 s each.
+        assert sim.upload_seconds(1) == pytest.approx(1.0)
+        assert sim.upload_seconds(4) == pytest.approx(4.0)
+
+    def test_step_waits_for_slowest_edge(self):
+        sim = homogeneous()
+        # Edge 0: 2 participants → 1 + 2 = 3 s; edge 1: 1 → 1 + 1 = 2 s.
+        duration = sim.step_seconds({0: [0, 1], 1: [2]})
+        assert duration == pytest.approx(3.0)
+
+    def test_empty_step_costs_nothing(self):
+        sim = homogeneous()
+        assert sim.step_seconds({0: []}) == 0.0
+        assert sim.step_seconds({}) == 0.0
+
+    def test_straggler_dominates(self):
+        config = LatencyConfig(speed_sigma=0.0)
+        sim = LatencySimulator(3, config, rng=0)
+        sim.speeds = np.array([1.0, 1.0, 0.1])  # device 2 is 10x slower
+        fast = sim.step_seconds({0: [0, 1]})
+        slow = sim.step_seconds({0: [0, 2]})
+        assert slow > fast
+
+    def test_run_seconds_cumulative_and_sync_charged(self):
+        sim = homogeneous()
+        steps = [{0: [0]}, {0: [1]}, {0: [2]}]
+        cumulative = sim.run_seconds(steps, sync_interval=2)
+        # Step costs: 1 compute + 1 upload = 2 s each; cloud RTT (2 s)
+        # at t=0 and t=2.
+        np.testing.assert_allclose(cumulative, [4.0, 6.0, 10.0])
+
+    def test_time_to_step(self):
+        sim = homogeneous()
+        steps = [{0: [0]}] * 4
+        assert sim.time_to_step(steps, sync_interval=10, step=1) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            sim.time_to_step(steps, sync_interval=10, step=0)
+        with pytest.raises(ValueError):
+            sim.time_to_step(steps, sync_interval=10, step=9)
+
+    def test_faster_sampling_strategy_finishes_sooner(self):
+        """A strategy that avoids stragglers accumulates less wall time —
+        the systems argument behind Oort's utility (ref [39])."""
+        config = LatencyConfig(speed_sigma=0.0)
+        sim = LatencySimulator(4, config, rng=0)
+        sim.speeds = np.array([1.0, 1.0, 1.0, 0.2])
+        avoids = sim.run_seconds([{0: [0, 1]}] * 10, sync_interval=5)
+        hits = sim.run_seconds([{0: [0, 3]}] * 10, sync_interval=5)
+        assert avoids[-1] < hits[-1]

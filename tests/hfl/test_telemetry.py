@@ -1,0 +1,113 @@
+"""Tests for the telemetry recorder, standalone and attached to a trainer."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_federated_task
+from repro.hfl.config import HFLConfig
+from repro.hfl.telemetry import EdgeRoundRecord, TelemetryRecorder
+from repro.hfl.trainer import HFLTrainer
+from repro.mobility.markov import MarkovMobilityModel
+from repro.nn.architectures import build_mlp
+from repro.sampling import StatisticalSampler, UniformSampler
+
+
+class TestEdgeRoundRecord:
+    def test_prob_spread(self):
+        record = EdgeRoundRecord(0, 0, 4, 2, 2.0, 0.8, 0.2, 1.0, 0.5)
+        assert record.prob_spread == pytest.approx(4.0)
+
+    def test_prob_spread_infinite_at_zero_min(self):
+        record = EdgeRoundRecord(0, 0, 4, 2, 2.0, 0.8, 0.0, None, None)
+        assert record.prob_spread == float("inf")
+
+
+class TestTelemetryRecorderStandalone:
+    def test_record_round_and_counts(self):
+        telemetry = TelemetryRecorder()
+        telemetry.record_round(
+            0, 1, np.array([3, 4, 5]), np.array([0.5, 0.5, 0.5]),
+            [3, 5], [1.0, 2.0], [0.3, 0.4],
+        )
+        assert len(telemetry.records) == 1
+        assert telemetry.participation_counts() == {3: 1, 5: 1}
+        record = telemetry.records[0]
+        assert record.num_members == 3
+        assert record.num_participants == 2
+        assert record.mean_loss == pytest.approx(0.35)
+
+    def test_misaligned_inputs_rejected(self):
+        telemetry = TelemetryRecorder()
+        with pytest.raises(ValueError, match="align"):
+            telemetry.record_round(0, 0, np.array([1, 2]), np.array([0.5]), [], [], [])
+
+    def test_jain_fairness_extremes(self):
+        even = TelemetryRecorder()
+        even._participation = {0: 5, 1: 5, 2: 5}
+        assert even.jain_fairness() == pytest.approx(1.0)
+        skewed = TelemetryRecorder()
+        skewed._participation = {0: 100, 1: 0, 2: 0}
+        # Zero-count devices recorded: index = total²/(n·Σc²) = 1/3.
+        assert skewed.jain_fairness() == pytest.approx(1 / 3)
+        assert TelemetryRecorder().jain_fairness() == 1.0
+
+    def test_edge_load(self):
+        telemetry = TelemetryRecorder()
+        telemetry.record_round(0, 0, np.arange(4), np.full(4, 0.5), [0, 1], [1], [1])
+        telemetry.record_round(1, 0, np.arange(4), np.full(4, 0.5), [2], [1], [1])
+        assert telemetry.edge_load() == {0: 1.5}
+
+    def test_capacity_violations_zero_by_construction(self):
+        telemetry = TelemetryRecorder()
+        telemetry.record_round(0, 0, np.arange(3), np.full(3, 1.0), [0], [1], [1])
+        assert telemetry.capacity_violations() == 0
+
+
+class TestTelemetryWithTrainer:
+    def run_with(self, sampler):
+        devices, test = make_federated_task(
+            "blobs", num_devices=10, samples_per_device=25, test_samples=80, rng=0
+        )
+        trace = MarkovMobilityModel.stay_or_jump(3, 0.8, rng=1).sample_trace(
+            30, 10, rng=2
+        )
+        telemetry = TelemetryRecorder()
+        trainer = HFLTrainer(
+            model_factory=lambda rng: build_mlp(16, hidden=(8,), rng=rng),
+            device_datasets=devices,
+            trace=trace,
+            sampler=sampler,
+            config=HFLConfig(
+                learning_rate=0.05, local_epochs=3, batch_size=8,
+                sync_interval=5, participation_fraction=0.5, seed=0,
+            ),
+            test_dataset=test,
+            telemetry=telemetry,
+        )
+        trainer.run(30)
+        return telemetry
+
+    def test_records_every_nonempty_round(self):
+        telemetry = self.run_with(UniformSampler())
+        # 30 steps x 3 edges, minus rounds where an edge had no devices.
+        assert 30 <= len(telemetry.records) <= 90
+
+    def test_participation_matches_trainer(self):
+        telemetry = self.run_with(UniformSampler())
+        total = sum(telemetry.participation_counts().values())
+        assert total > 0
+
+    def test_uniform_has_unit_spread(self):
+        telemetry = self.run_with(UniformSampler())
+        assert telemetry.mean_prob_spread() == pytest.approx(1.0)
+
+    def test_biased_sampler_has_larger_spread(self):
+        uniform = self.run_with(UniformSampler())
+        biased = self.run_with(StatisticalSampler())
+        assert biased.mean_prob_spread() >= uniform.mean_prob_spread()
+
+    def test_loss_series_nonempty(self):
+        telemetry = self.run_with(UniformSampler())
+        series = telemetry.loss_series()
+        assert len(series) > 0
+        assert all(np.isfinite(series))

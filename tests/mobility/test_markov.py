@@ -1,0 +1,115 @@
+"""Tests for the Markov mobility model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.markov import MarkovMobilityModel
+
+
+class TestConstruction:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            MarkovMobilityModel(np.ones((2, 3)) / 3)
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            MarkovMobilityModel(np.array([[0.5, 0.4], [0.5, 0.5]]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MarkovMobilityModel(np.array([[1.5, -0.5], [0.5, 0.5]]))
+
+
+class TestStayOrJump:
+    def test_diagonal_is_stay_probability(self):
+        model = MarkovMobilityModel.stay_or_jump(5, stay_probability=0.7)
+        np.testing.assert_allclose(np.diag(model.transition), 0.7)
+
+    def test_rows_stochastic(self):
+        model = MarkovMobilityModel.stay_or_jump(4, stay_probability=0.6)
+        np.testing.assert_allclose(model.transition.sum(axis=1), 1.0)
+
+    def test_single_edge_degenerate(self):
+        model = MarkovMobilityModel.stay_or_jump(1, stay_probability=0.5)
+        np.testing.assert_array_equal(model.transition, [[1.0]])
+
+    def test_neighbour_bias_prefers_adjacent(self):
+        model = MarkovMobilityModel.stay_or_jump(
+            6, stay_probability=0.5, neighbour_bias=2.0
+        )
+        # From edge 0, jumping to ring-adjacent edges 1 and 5 must beat edge 3.
+        assert model.transition[0, 1] > model.transition[0, 3]
+        assert model.transition[0, 5] > model.transition[0, 3]
+
+
+class TestStationaryDistribution:
+    def test_uniform_for_symmetric_chain(self):
+        model = MarkovMobilityModel.stay_or_jump(4, stay_probability=0.8)
+        np.testing.assert_allclose(model.stationary_distribution(), 0.25, atol=1e-8)
+
+    def test_is_fixed_point(self):
+        transition = np.array([[0.9, 0.1, 0.0], [0.2, 0.7, 0.1], [0.3, 0.3, 0.4]])
+        model = MarkovMobilityModel(transition)
+        pi = model.stationary_distribution()
+        np.testing.assert_allclose(pi @ transition, pi, atol=1e-10)
+        assert pi.sum() == pytest.approx(1.0)
+
+
+class TestPredict:
+    def test_one_step_matches_row(self):
+        model = MarkovMobilityModel.stay_or_jump(3, stay_probability=0.6)
+        np.testing.assert_allclose(model.predict(1, steps=1), model.transition[1])
+
+    def test_many_steps_approach_stationary(self):
+        model = MarkovMobilityModel.stay_or_jump(3, stay_probability=0.5)
+        np.testing.assert_allclose(
+            model.predict(0, steps=200), model.stationary_distribution(), atol=1e-8
+        )
+
+    def test_rejects_bad_edge(self):
+        model = MarkovMobilityModel.stay_or_jump(3)
+        with pytest.raises(ValueError):
+            model.predict(7)
+
+
+class TestSampleTrace:
+    def test_shape_and_validity(self):
+        model = MarkovMobilityModel.stay_or_jump(4, stay_probability=0.7)
+        trace = model.sample_trace(30, 10, rng=0)
+        assert trace.num_steps == 30 and trace.num_devices == 10
+        trace.validate()
+
+    def test_initial_assignment_respected(self):
+        model = MarkovMobilityModel.stay_or_jump(3, stay_probability=0.9)
+        initial = np.array([0, 1, 2, 0])
+        trace = model.sample_trace(5, 4, rng=0, initial=initial)
+        np.testing.assert_array_equal(trace.assignments[0], initial)
+
+    def test_deterministic_under_seed(self):
+        model = MarkovMobilityModel.stay_or_jump(3, stay_probability=0.5)
+        t1 = model.sample_trace(20, 6, rng=42)
+        t2 = model.sample_trace(20, 6, rng=42)
+        np.testing.assert_array_equal(t1.assignments, t2.assignments)
+
+    def test_high_stay_probability_reduces_handover(self):
+        sticky = MarkovMobilityModel.stay_or_jump(4, 0.95).sample_trace(100, 20, rng=0)
+        mobile = MarkovMobilityModel.stay_or_jump(4, 0.2).sample_trace(100, 20, rng=0)
+        assert sticky.handover_rate() < mobile.handover_rate()
+
+    def test_empirical_transitions_match_model(self):
+        """Long simulated traces recover the generating chain."""
+        model = MarkovMobilityModel.stay_or_jump(3, stay_probability=0.6)
+        trace = model.sample_trace(4000, 20, rng=1)
+        np.testing.assert_allclose(
+            trace.empirical_transition_matrix(), model.transition, atol=0.02
+        )
+
+    @given(st.integers(2, 5), st.floats(0.1, 0.95), st.integers(0, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_traces_always_valid(self, edges, stay, seed):
+        model = MarkovMobilityModel.stay_or_jump(edges, stay_probability=stay, rng=seed)
+        trace = model.sample_trace(15, 8, rng=seed)
+        trace.validate()
+        assert trace.assignments.max() < edges

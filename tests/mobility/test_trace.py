@@ -1,0 +1,123 @@
+"""Tests for repro.mobility.trace."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.trace import MobilityTrace, static_trace
+
+
+def simple_trace():
+    assignments = np.array(
+        [
+            [0, 0, 1, 2],
+            [0, 1, 1, 2],
+            [1, 1, 0, 2],
+        ]
+    )
+    return MobilityTrace(assignments, num_edges=3)
+
+
+class TestMobilityTrace:
+    def test_dimensions(self):
+        trace = simple_trace()
+        assert trace.num_steps == 3
+        assert trace.num_devices == 4
+        assert trace.num_edges == 3
+
+    def test_devices_at(self):
+        trace = simple_trace()
+        np.testing.assert_array_equal(trace.devices_at(0, 0), [0, 1])
+        np.testing.assert_array_equal(trace.devices_at(1, 1), [1, 2])
+        np.testing.assert_array_equal(trace.devices_at(2, 2), [3])
+
+    def test_edge_of(self):
+        trace = simple_trace()
+        assert trace.edge_of(0, 2) == 1
+        assert trace.edge_of(2, 0) == 1
+
+    def test_indicator_matrix_partition(self):
+        """Eq. (1): columns of B^t sum to exactly 1."""
+        trace = simple_trace()
+        for t in range(trace.num_steps):
+            B = trace.indicator_matrix(t)
+            np.testing.assert_array_equal(B.sum(axis=0), np.ones(4, dtype=int))
+
+    def test_validate_passes(self):
+        simple_trace().validate()
+
+    def test_cyclic_extension(self):
+        trace = simple_trace()
+        assert trace.edge_of(3, 0) == trace.edge_of(0, 0)
+        np.testing.assert_array_equal(trace.devices_at(5, 1), trace.devices_at(2, 1))
+
+    def test_negative_step_raises(self):
+        with pytest.raises(ValueError):
+            simple_trace().edge_of(-1, 0)
+
+    def test_bad_edge_index_raises(self):
+        with pytest.raises(ValueError):
+            simple_trace().devices_at(0, 5)
+
+    def test_rejects_out_of_range_assignments(self):
+        with pytest.raises(ValueError, match="edge indices"):
+            MobilityTrace(np.array([[0, 3]]), num_edges=2)
+
+    def test_occupancy_sums_to_devices(self):
+        trace = simple_trace()
+        assert trace.occupancy().sum() == pytest.approx(4.0)
+
+    def test_handover_rate(self):
+        trace = simple_trace()
+        # 8 transition cells, 3 switches: (0,1): dev1; (1,2): dev0, dev2.
+        assert trace.handover_rate() == pytest.approx(3 / 8)
+
+    def test_handover_rate_static_is_zero(self):
+        trace = static_trace(10, 5, 3, rng=0)
+        assert trace.handover_rate() == 0.0
+
+    def test_empirical_transition_matrix_rows_stochastic(self):
+        trace = simple_trace()
+        P = trace.empirical_transition_matrix()
+        np.testing.assert_allclose(P.sum(axis=1), 1.0)
+
+    def test_slice(self):
+        trace = simple_trace()
+        sub = trace.slice(1, 3)
+        assert sub.num_steps == 2
+        np.testing.assert_array_equal(sub.assignments, trace.assignments[1:3])
+
+    def test_slice_bounds(self):
+        with pytest.raises(ValueError):
+            simple_trace().slice(2, 1)
+        with pytest.raises(ValueError):
+            simple_trace().slice(0, 9)
+
+    @given(st.integers(1, 6), st.integers(1, 10), st.integers(1, 4), st.integers(0, 99))
+    @settings(max_examples=25, deadline=None)
+    def test_partition_property_random_traces(self, steps, devices, edges, seed):
+        """Eq. (1) holds for arbitrary valid traces."""
+        rng = np.random.default_rng(seed)
+        trace = MobilityTrace(
+            rng.integers(0, edges, size=(steps, devices)), num_edges=edges
+        )
+        trace.validate()
+        for t in range(steps):
+            sizes = [trace.devices_at(t, n).size for n in range(edges)]
+            assert sum(sizes) == devices
+
+
+class TestStaticTrace:
+    def test_constant_over_time(self):
+        trace = static_trace(20, 6, 3, rng=0)
+        for t in range(1, 20):
+            np.testing.assert_array_equal(trace.assignments[t], trace.assignments[0])
+
+    def test_explicit_assignment(self):
+        trace = static_trace(5, 3, 2, assignment=np.array([0, 1, 1]))
+        np.testing.assert_array_equal(trace.assignments[0], [0, 1, 1])
+
+    def test_rejects_bad_assignment_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            static_trace(5, 3, 2, assignment=np.array([0, 1]))

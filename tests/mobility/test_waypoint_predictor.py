@@ -1,0 +1,122 @@
+"""Tests for the random-waypoint model and the order-k Markov predictor."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.markov import MarkovMobilityModel
+from repro.mobility.predictor import OrderKMarkovPredictor
+from repro.mobility.trace import MobilityTrace, static_trace
+from repro.mobility.waypoint import RandomWaypointModel
+
+
+class TestRandomWaypointModel:
+    def test_positions_shape_and_bounds(self):
+        model = RandomWaypointModel(area=50.0, rng=0)
+        positions = model.sample_positions(30, 6)
+        assert positions.shape == (30, 6, 2)
+        assert positions.min() >= 0 and positions.max() <= 50.0
+
+    def test_devices_actually_move(self):
+        model = RandomWaypointModel(area=100.0, speed_range=(5.0, 10.0),
+                                    pause_range=(0.0, 0.0), rng=1)
+        positions = model.sample_positions(50, 4)
+        displacement = np.linalg.norm(positions[-1] - positions[0], axis=1)
+        assert displacement.max() > 1.0
+
+    def test_speed_bounds_respected(self):
+        model = RandomWaypointModel(area=100.0, speed_range=(2.0, 3.0),
+                                    pause_range=(0.0, 0.0), rng=2)
+        positions = model.sample_positions(40, 5)
+        steps = np.linalg.norm(np.diff(positions, axis=0), axis=2)
+        assert steps.max() <= 3.0 + 1e-9
+
+    def test_pausing_devices_hold_position(self):
+        model = RandomWaypointModel(area=20.0, speed_range=(50.0, 60.0),
+                                    pause_range=(5.0, 5.0), rng=3)
+        positions = model.sample_positions(10, 3)
+        # With speed >> area, devices arrive instantly then pause 5 steps:
+        # consecutive repeats must occur.
+        repeats = np.any(
+            np.all(np.isclose(np.diff(positions, axis=0), 0), axis=2)
+        )
+        assert repeats
+
+    def test_sample_trace_validity(self):
+        model = RandomWaypointModel(rng=4)
+        trace, edge_map = model.sample_trace(25, 8, num_edges=4)
+        trace.validate()
+        assert trace.num_edges == 4
+        assert edge_map.num_edges == 4
+        assert 0.0 < trace.handover_rate() < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWaypointModel(speed_range=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            RandomWaypointModel(speed_range=(3.0, 1.0))
+        with pytest.raises(ValueError):
+            RandomWaypointModel(pause_range=(2.0, 1.0))
+
+
+class TestOrderKMarkovPredictor:
+    def test_requires_fit(self):
+        predictor = OrderKMarkovPredictor(3)
+        with pytest.raises(RuntimeError):
+            predictor.predict(0, (0,))
+
+    def test_static_trace_predicted_perfectly(self):
+        trace = static_trace(30, 5, 3, rng=0)
+        predictor = OrderKMarkovPredictor(3, order=1, smoothing=0.01).fit(trace)
+        metrics = predictor.evaluate(trace)
+        assert metrics["top1_accuracy"] == 1.0
+
+    def test_prediction_is_distribution(self):
+        trace = MarkovMobilityModel.stay_or_jump(4, 0.7).sample_trace(60, 6, rng=1)
+        predictor = OrderKMarkovPredictor(4, order=2).fit(trace)
+        probs = predictor.predict_trace_step(trace, 30)
+        assert probs.shape == (6, 4)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_unknown_context_backs_off_to_uniform(self):
+        trace = static_trace(10, 2, 3, assignment=np.array([0, 0]))
+        predictor = OrderKMarkovPredictor(3, order=2).fit(trace)
+        # Edge 2 never appears in device 0's history: full back-off.
+        np.testing.assert_allclose(predictor.predict(0, (2, 2)), 1 / 3)
+
+    def test_beats_uniform_on_sticky_chain(self):
+        """On a high-stay-probability chain the predictor must easily beat
+        the 1/num_edges uniform baseline."""
+        trace = MarkovMobilityModel.stay_or_jump(5, 0.85).sample_trace(200, 10, rng=2)
+        predictor = OrderKMarkovPredictor(5, order=1).fit(trace.slice(0, 100))
+        metrics = predictor.evaluate(trace, start=100)
+        assert metrics["top1_accuracy"] > 0.5  # uniform would be 0.2
+
+    def test_higher_order_uses_longer_context(self):
+        # Deterministic period-2 pattern 0,1,0,1 is invisible to order-1
+        # from context alone but learned by context counts anyway; check
+        # order-2 predicts it perfectly.
+        pattern = np.tile(np.array([[0], [1]]), (15, 1))
+        trace = MobilityTrace(pattern, num_edges=2)
+        predictor = OrderKMarkovPredictor(2, order=2, smoothing=0.01).fit(trace)
+        next_after_0 = predictor.predict(0, (1, 0))
+        assert next_after_0.argmax() == 1
+
+    def test_evaluate_bounds(self):
+        trace = static_trace(10, 2, 2, rng=0)
+        predictor = OrderKMarkovPredictor(2).fit(trace)
+        with pytest.raises(ValueError):
+            predictor.evaluate(trace, start=0)
+        with pytest.raises(ValueError):
+            predictor.predict_trace_step(trace, 99)
+
+    def test_edge_count_mismatch_rejected(self):
+        trace = static_trace(5, 2, 2, rng=0)
+        with pytest.raises(ValueError, match="edges"):
+            OrderKMarkovPredictor(5).fit(trace)
+
+    def test_invalid_history_rejected(self):
+        trace = static_trace(5, 2, 2, rng=0)
+        predictor = OrderKMarkovPredictor(2).fit(trace)
+        with pytest.raises(ValueError, match="invalid edge"):
+            predictor.predict(0, (7,))

@@ -1,0 +1,115 @@
+"""Tests for repro.nn.functional."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.functional import col2im, conv_output_size, im2col, one_hot, softmax
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        logits = rng.normal(size=(7, 10))
+        probs = softmax(logits, axis=1)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_invariant_to_shift(self, rng):
+        logits = rng.normal(size=(4, 5))
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_handles_large_logits(self):
+        logits = np.array([[1000.0, 0.0, -1000.0]])
+        probs = softmax(logits)
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_uniform_for_equal_logits(self):
+        probs = softmax(np.zeros((2, 4)))
+        np.testing.assert_allclose(probs, 0.25)
+
+    @given(st.integers(1, 5), st.integers(2, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_probabilities_in_unit_interval(self, batch, classes):
+        rng = np.random.default_rng(batch * 100 + classes)
+        probs = softmax(rng.normal(scale=5, size=(batch, classes)))
+        assert np.all(probs >= 0) and np.all(probs <= 1)
+
+
+class TestOneHot:
+    def test_basic_encoding(self):
+        encoded = one_hot(np.array([0, 2, 1]), 3)
+        expected = np.array([[1, 0, 0], [0, 0, 1], [0, 1, 0]], dtype=float)
+        np.testing.assert_array_equal(encoded, expected)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="labels must be in"):
+            one_hot(np.array([0, 3]), 3)
+        with pytest.raises(ValueError, match="labels must be in"):
+            one_hot(np.array([-1]), 3)
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(ValueError, match="1-D"):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+    def test_empty_labels(self):
+        assert one_hot(np.array([], dtype=int), 4).shape == (0, 4)
+
+
+class TestConvOutputSize:
+    def test_known_values(self):
+        assert conv_output_size(28, 3, 1, 1) == 28
+        assert conv_output_size(28, 2, 2, 0) == 14
+        assert conv_output_size(5, 3, 1, 0) == 3
+
+    def test_rejects_too_small_input(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2colCol2im:
+    def test_im2col_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols, out_h, out_w = im2col(x, kernel=3, stride=1, padding=1)
+        assert (out_h, out_w) == (8, 8)
+        assert cols.shape == (2, 3 * 9, 64)
+
+    def test_im2col_identity_kernel(self, rng):
+        """A 1x1 kernel with stride 1 is just a reshape."""
+        x = rng.normal(size=(1, 2, 4, 4))
+        cols, out_h, out_w = im2col(x, kernel=1, stride=1, padding=0)
+        np.testing.assert_allclose(cols.reshape(1, 2, 4, 4), x)
+
+    def test_im2col_values_first_window(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4))
+        cols, _, _ = im2col(x, kernel=2, stride=1, padding=0)
+        first_window = cols[0, :, 0]
+        expected = np.array([x[0, 0, 0, 0], x[0, 0, 0, 1], x[0, 0, 1, 0], x[0, 0, 1, 1]])
+        np.testing.assert_allclose(first_window, expected)
+
+    def test_col2im_is_adjoint_of_im2col(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property
+        that makes the convolution backward pass correct."""
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols, _, _ = im2col(x, kernel=3, stride=1, padding=1)
+        y = rng.normal(size=cols.shape)
+        lhs = np.sum(cols * y)
+        rhs = np.sum(x * col2im(y, x.shape, kernel=3, stride=1, padding=1))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    @given(
+        st.integers(1, 2),
+        st.integers(1, 3),
+        st.sampled_from([(3, 1, 1), (2, 2, 0), (3, 1, 0)]),
+        st.integers(6, 9),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_adjoint_property_randomized(self, batch, channels, geometry, size):
+        kernel, stride, padding = geometry
+        rng = np.random.default_rng(batch * 1000 + channels * 100 + size)
+        x = rng.normal(size=(batch, channels, size, size))
+        cols, _, _ = im2col(x, kernel, stride, padding)
+        y = rng.normal(size=cols.shape)
+        lhs = np.sum(cols * y)
+        rhs = np.sum(x * col2im(y, x.shape, kernel, stride, padding))
+        assert lhs == pytest.approx(rhs, rel=1e-9)

@@ -1,0 +1,225 @@
+"""Tests for repro.nn.layers, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2d, Dense, Dropout, Flatten, MaxPool2d, ReLU
+
+
+def numerical_grad_wrt_input(layer, x, grad_out, eps=1e-6):
+    """Central-difference gradient of <layer(x), grad_out> w.r.t. x."""
+    grad = np.zeros_like(x)
+    flat_x = x.ravel()
+    flat_g = grad.ravel()
+    for i in range(flat_x.size):
+        orig = flat_x[i]
+        flat_x[i] = orig + eps
+        plus = np.sum(layer.forward(x, training=False) * grad_out)
+        flat_x[i] = orig - eps
+        minus = np.sum(layer.forward(x, training=False) * grad_out)
+        flat_x[i] = orig
+        flat_g[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def numerical_grad_wrt_param(layer, param, x, grad_out, eps=1e-6):
+    """Central-difference gradient of <layer(x), grad_out> w.r.t. a parameter."""
+    grad = np.zeros_like(param.value)
+    flat_p = param.value.ravel()
+    flat_g = grad.ravel()
+    for i in range(flat_p.size):
+        orig = flat_p[i]
+        flat_p[i] = orig + eps
+        plus = np.sum(layer.forward(x, training=False) * grad_out)
+        flat_p[i] = orig - eps
+        minus = np.sum(layer.forward(x, training=False) * grad_out)
+        flat_p[i] = orig
+        flat_g[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(8, 4, rng=rng)
+        assert layer.forward(rng.normal(size=(3, 8))).shape == (3, 4)
+
+    def test_forward_matches_matmul(self, rng):
+        layer = Dense(5, 3, rng=rng)
+        x = rng.normal(size=(2, 5))
+        expected = x @ layer.weight.value + layer.bias.value
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_backward_gradients_numerically(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        x = rng.normal(size=(2, 4))
+        grad_out = rng.normal(size=(2, 3))
+        layer.forward(x, training=True)
+        grad_in = layer.backward(grad_out)
+        np.testing.assert_allclose(
+            grad_in, numerical_grad_wrt_input(layer, x, grad_out), atol=1e-5
+        )
+        np.testing.assert_allclose(
+            layer.weight.grad,
+            numerical_grad_wrt_param(layer, layer.weight, x, grad_out),
+            atol=1e-5,
+        )
+        np.testing.assert_allclose(
+            layer.bias.grad,
+            numerical_grad_wrt_param(layer, layer.bias, x, grad_out),
+            atol=1e-5,
+        )
+
+    def test_gradients_accumulate(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.normal(size=(2, 3))
+        g = rng.normal(size=(2, 2))
+        layer.forward(x, training=True)
+        layer.backward(g)
+        once = layer.weight.grad.copy()
+        layer.forward(x, training=True)
+        layer.backward(g)
+        np.testing.assert_allclose(layer.weight.grad, 2 * once)
+
+    def test_rejects_bad_shapes(self, rng):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+        layer = Dense(4, 2, rng=rng)
+        with pytest.raises(ValueError, match=r"\(B, F\)"):
+            layer.forward(rng.normal(size=(2, 4, 1)))
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(rng.normal(size=(1, 2)))
+
+
+class TestReLU:
+    def test_forward_clips_negatives(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 0.0, 2.0]])
+        np.testing.assert_array_equal(layer.forward(x), [[0.0, 0.0, 2.0]])
+
+    def test_backward_masks_gradient(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 3.0]])
+        layer.forward(x, training=True)
+        grad = layer.backward(np.array([[5.0, 7.0]]))
+        np.testing.assert_array_equal(grad, [[0.0, 7.0]])
+
+
+class TestFlatten:
+    def test_round_trip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = layer.forward(x, training=True)
+        assert out.shape == (2, 48)
+        back = layer.backward(out)
+        np.testing.assert_array_equal(back, x)
+
+
+class TestDropout:
+    def test_identity_at_eval(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = rng.normal(size=(4, 8))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_zero_rate_is_identity(self, rng):
+        layer = Dropout(0.0, rng=rng)
+        x = rng.normal(size=(4, 8))
+        np.testing.assert_array_equal(layer.forward(x, training=True), x)
+
+    def test_preserves_expectation(self):
+        layer = Dropout(0.3, rng=np.random.default_rng(0))
+        x = np.ones((200, 200))
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_rejects_rate_one(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestConv2d:
+    def test_forward_shape_with_padding(self, rng):
+        layer = Conv2d(3, 6, kernel_size=3, padding=1, rng=rng)
+        assert layer.forward(rng.normal(size=(2, 3, 8, 8))).shape == (2, 6, 8, 8)
+
+    def test_forward_shape_with_stride(self, rng):
+        layer = Conv2d(1, 2, kernel_size=3, stride=2, rng=rng)
+        assert layer.forward(rng.normal(size=(1, 1, 9, 9))).shape == (1, 2, 4, 4)
+
+    def test_matches_manual_convolution(self, rng):
+        """Compare against a direct nested-loop convolution."""
+        layer = Conv2d(2, 3, kernel_size=2, rng=rng)
+        x = rng.normal(size=(1, 2, 4, 4))
+        out = layer.forward(x)
+        for oc in range(3):
+            for i in range(3):
+                for j in range(3):
+                    patch = x[0, :, i : i + 2, j : j + 2]
+                    expected = np.sum(patch * layer.weight.value[oc]) + layer.bias.value[oc]
+                    assert out[0, oc, i, j] == pytest.approx(expected)
+
+    def test_backward_gradients_numerically(self, rng):
+        layer = Conv2d(2, 2, kernel_size=3, padding=1, rng=rng)
+        x = rng.normal(size=(1, 2, 5, 5))
+        grad_out = rng.normal(size=(1, 2, 5, 5))
+        layer.forward(x, training=True)
+        grad_in = layer.backward(grad_out)
+        np.testing.assert_allclose(
+            grad_in, numerical_grad_wrt_input(layer, x, grad_out), atol=1e-5
+        )
+        np.testing.assert_allclose(
+            layer.weight.grad,
+            numerical_grad_wrt_param(layer, layer.weight, x, grad_out),
+            atol=1e-5,
+        )
+        np.testing.assert_allclose(
+            layer.bias.grad,
+            numerical_grad_wrt_param(layer, layer.bias, x, grad_out),
+            atol=1e-5,
+        )
+
+    def test_rejects_wrong_channels(self, rng):
+        layer = Conv2d(3, 2, kernel_size=3, rng=rng)
+        with pytest.raises(ValueError, match="expects"):
+            layer.forward(rng.normal(size=(1, 2, 8, 8)))
+
+
+class TestMaxPool2d:
+    def test_forward_known_values(self):
+        layer = MaxPool2d(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_backward_routes_to_argmax(self):
+        layer = MaxPool2d(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        layer.forward(x, training=True)
+        grad = layer.backward(np.ones((1, 1, 2, 2)))
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        np.testing.assert_array_equal(grad[0, 0], expected)
+
+    def test_backward_gradient_numerically(self, rng):
+        layer = MaxPool2d(2)
+        x = rng.normal(size=(2, 2, 6, 6))
+        grad_out = rng.normal(size=(2, 2, 3, 3))
+        layer.forward(x, training=True)
+        grad_in = layer.backward(grad_out)
+        np.testing.assert_allclose(
+            grad_in, numerical_grad_wrt_input(layer, x, grad_out), atol=1e-5
+        )
+
+    def test_odd_input_truncates(self, rng):
+        layer = MaxPool2d(2)
+        out = layer.forward(rng.normal(size=(1, 1, 5, 5)), training=True)
+        assert out.shape == (1, 1, 2, 2)
+        grad = layer.backward(np.ones_like(out))
+        assert grad.shape == (1, 1, 5, 5)
+        np.testing.assert_array_equal(grad[:, :, 4, :], 0.0)
+
+    def test_rejects_overlapping_stride(self):
+        with pytest.raises(NotImplementedError):
+            MaxPool2d(3, stride=1)

@@ -1,0 +1,253 @@
+"""Tests for Sequential/Model, losses and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.architectures import (
+    build_cifar_cnn,
+    build_logistic_regression,
+    build_mlp,
+    build_mnist_cnn,
+    build_model,
+)
+from repro.nn.layers import Dense, ReLU
+from repro.nn.loss import SoftmaxCrossEntropy, accuracy
+from repro.nn.model import Sequential
+from repro.nn.optim import SGD, ConstantLR, ExponentialDecayLR
+
+
+@pytest.fixture
+def small_mlp(rng):
+    return build_mlp(6, num_classes=3, hidden=(5,), rng=rng)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_loss_of_perfect_prediction_near_zero(self):
+        loss_fn = SoftmaxCrossEntropy()
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        assert loss_fn.forward(logits, np.array([0, 1])) == pytest.approx(0.0, abs=1e-6)
+
+    def test_uniform_logits_give_log_classes(self):
+        loss_fn = SoftmaxCrossEntropy()
+        logits = np.zeros((4, 10))
+        assert loss_fn.forward(logits, np.zeros(4, dtype=int)) == pytest.approx(
+            np.log(10)
+        )
+
+    def test_gradient_matches_numerical(self, rng):
+        loss_fn = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([0, 2, 3])
+        loss_fn.forward(logits, labels)
+        grad = loss_fn.backward()
+        eps = 1e-6
+        for i in range(3):
+            for j in range(4):
+                fresh = SoftmaxCrossEntropy()
+                bumped = logits.copy()
+                bumped[i, j] += eps
+                plus = fresh.forward(bumped, labels)
+                bumped[i, j] -= 2 * eps
+                minus = fresh.forward(bumped, labels)
+                assert grad[i, j] == pytest.approx((plus - minus) / (2 * eps), abs=1e-4)
+
+    def test_rejects_batch_mismatch(self):
+        with pytest.raises(ValueError, match="batch mismatch"):
+            SoftmaxCrossEntropy().forward(np.zeros((2, 3)), np.zeros(3, dtype=int))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()
+
+
+class TestAccuracy:
+    def test_perfect_and_zero(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+        assert accuracy(logits, np.array([1, 0])) == 0.0
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((0, 2)), np.zeros(0, dtype=int))
+
+
+class TestModelFlatVector:
+    def test_get_set_round_trip(self, small_mlp, rng):
+        flat = small_mlp.get_flat()
+        assert flat.shape == (small_mlp.num_parameters,)
+        new = rng.normal(size=flat.shape)
+        small_mlp.set_flat(new)
+        np.testing.assert_allclose(small_mlp.get_flat(), new)
+
+    def test_set_flat_rejects_wrong_size(self, small_mlp):
+        with pytest.raises(ValueError, match="flat vector"):
+            small_mlp.set_flat(np.zeros(3))
+
+    def test_num_parameters_counts_all(self, rng):
+        model = Sequential([Dense(4, 3, rng=rng), ReLU(), Dense(3, 2, rng=rng)])
+        assert model.num_parameters == (4 * 3 + 3) + (3 * 2 + 2)
+
+    def test_set_flat_changes_forward(self, small_mlp, rng):
+        x = rng.normal(size=(2, 6))
+        before = small_mlp.forward(x, training=False)
+        small_mlp.set_flat(small_mlp.get_flat() * 2.0)
+        after = small_mlp.forward(x, training=False)
+        assert not np.allclose(before, after)
+
+
+class TestLossAndGrad:
+    def test_returns_fresh_gradient(self, small_mlp, rng):
+        x = rng.normal(size=(4, 6))
+        y = rng.integers(0, 3, size=4)
+        _loss1, g1 = small_mlp.loss_and_grad(x, y)
+        _loss2, g2 = small_mlp.loss_and_grad(x, y)
+        np.testing.assert_allclose(g1, g2)  # zero_grad per call, no accumulation
+
+    def test_gradient_descends_loss(self, small_mlp, rng):
+        x = rng.normal(size=(8, 6))
+        y = rng.integers(0, 3, size=8)
+        loss0, grad = small_mlp.loss_and_grad(x, y)
+        small_mlp.set_flat(small_mlp.get_flat() - 0.05 * grad)
+        loss1, _ = small_mlp.loss_and_grad(x, y)
+        assert loss1 < loss0
+
+    def test_full_model_gradient_numerically(self, rng):
+        """End-to-end flat-gradient check through Dense+ReLU stack."""
+        model = build_mlp(3, num_classes=2, hidden=(4,), rng=rng)
+        x = rng.normal(size=(5, 3))
+        y = rng.integers(0, 2, size=5)
+        _loss, grad = model.loss_and_grad(x, y)
+        flat = model.get_flat()
+        eps = 1e-6
+        loss_fn = SoftmaxCrossEntropy()
+        for i in range(0, flat.size, 7):  # sample every 7th coordinate
+            bumped = flat.copy()
+            bumped[i] += eps
+            model.set_flat(bumped)
+            plus = loss_fn.forward(model.forward(x, training=False), y)
+            bumped[i] -= 2 * eps
+            model.set_flat(bumped)
+            minus = loss_fn.forward(model.forward(x, training=False), y)
+            assert grad[i] == pytest.approx((plus - minus) / (2 * eps), abs=1e-4)
+        model.set_flat(flat)
+
+
+class TestPredict:
+    def test_predict_shape_and_range(self, small_mlp, rng):
+        predictions = small_mlp.predict(rng.normal(size=(10, 6)))
+        assert predictions.shape == (10,)
+        assert set(predictions).issubset({0, 1, 2})
+
+    def test_predict_batches_consistently(self, small_mlp, rng):
+        x = rng.normal(size=(10, 6))
+        np.testing.assert_array_equal(
+            small_mlp.predict(x, batch_size=3), small_mlp.predict(x, batch_size=100)
+        )
+
+
+class TestSGD:
+    def test_plain_step(self, rng):
+        layer = Dense(2, 2, rng=rng)
+        layer.weight.grad[...] = 1.0
+        before = layer.weight.value.copy()
+        SGD(lr=0.1).step([layer.weight, layer.bias])
+        np.testing.assert_allclose(layer.weight.value, before - 0.1)
+
+    def test_momentum_accelerates(self, rng):
+        layer_a = Dense(2, 2, rng=np.random.default_rng(0))
+        layer_b = Dense(2, 2, rng=np.random.default_rng(0))
+        sgd_plain = SGD(lr=0.1)
+        sgd_momentum = SGD(lr=0.1, momentum=0.9)
+        for _ in range(3):
+            layer_a.weight.grad[...] = 1.0
+            layer_b.weight.grad[...] = 1.0
+            sgd_plain.step([layer_a.weight])
+            sgd_momentum.step([layer_b.weight])
+        assert np.all(layer_b.weight.value < layer_a.weight.value)
+
+    def test_weight_decay_shrinks(self, rng):
+        layer = Dense(2, 2, rng=rng)
+        layer.weight.value[...] = 1.0
+        layer.weight.grad[...] = 0.0
+        SGD(lr=0.1, weight_decay=0.5).step([layer.weight])
+        np.testing.assert_allclose(layer.weight.value, 0.95)
+
+    def test_schedule_decays(self):
+        sgd = SGD(lr=1.0, schedule=ExponentialDecayLR(1.0, 0.5, decay_steps=1))
+        assert sgd.lr == 1.0
+        sgd.step([])
+        assert sgd.lr == 0.5
+
+    def test_constant_schedule(self):
+        assert ConstantLR(0.3)(100) == 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD(lr=-1)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.5)
+        with pytest.raises(ValueError):
+            ExponentialDecayLR(1.0, decay=1.5)
+
+
+class TestArchitectures:
+    def test_mnist_cnn_shapes(self, rng):
+        model = build_mnist_cnn((1, 28, 28), width=2, hidden=8, rng=rng)
+        out = model.forward(rng.normal(size=(2, 1, 28, 28)), training=False)
+        assert out.shape == (2, 10)
+
+    def test_cifar_cnn_shapes(self, rng):
+        model = build_cifar_cnn((3, 32, 32), width=2, hidden=8, rng=rng)
+        out = model.forward(rng.normal(size=(2, 3, 32, 32)), training=False)
+        assert out.shape == (2, 10)
+
+    def test_reduced_resolution(self, rng):
+        model = build_mnist_cnn((1, 12, 12), width=2, hidden=8, rng=rng)
+        assert model.forward(rng.normal(size=(1, 1, 12, 12))).shape == (1, 10)
+
+    def test_logistic_regression_is_linear(self, rng):
+        model = build_logistic_regression(5, num_classes=3, rng=rng)
+        x = rng.normal(size=(2, 5))
+        out1 = model.forward(x, training=False)
+        out2 = model.forward(2 * x, training=False)
+        bias = model.layers[0].bias.value
+        np.testing.assert_allclose(out2 - bias, 2 * (out1 - bias))
+
+    def test_build_model_dispatch(self, rng):
+        assert build_model("mnist", (1, 12, 12), rng=rng).forward(
+            rng.normal(size=(1, 1, 12, 12))
+        ).shape == (1, 10)
+        assert build_model("cifar10", (3, 16, 16), scale="tiny", rng=rng).forward(
+            rng.normal(size=(1, 3, 16, 16))
+        ).shape == (1, 10)
+        assert build_model("mlp", (7,), rng=rng).forward(
+            rng.normal(size=(2, 7))
+        ).shape == (2, 10)
+
+    def test_build_model_rejects_unknowns(self, rng):
+        with pytest.raises(ValueError, match="unknown scale"):
+            build_model("mnist", (1, 12, 12), scale="huge")
+        with pytest.raises(ValueError, match="unknown task"):
+            build_model("imagenet", (3, 224, 224))
+
+    def test_too_small_input_raises(self, rng):
+        with pytest.raises(ValueError, match="too small"):
+            build_cifar_cnn((3, 4, 4), rng=rng)
+
+    def test_scales_order_parameter_counts(self, rng):
+        tiny = build_model("mnist", (1, 12, 12), scale="tiny", rng=rng)
+        small = build_model("mnist", (1, 12, 12), scale="small", rng=rng)
+        paper = build_model("mnist", (1, 12, 12), scale="paper", rng=rng)
+        assert tiny.num_parameters < small.num_parameters < paper.num_parameters
+
+    def test_cnn_trains_on_synthetic_batch(self, rng):
+        """A few SGD steps must reduce loss on a tiny fixed batch."""
+        model = build_mnist_cnn((1, 8, 8), width=2, hidden=8, rng=rng)
+        x = rng.normal(size=(16, 1, 8, 8))
+        y = rng.integers(0, 10, size=16)
+        loss0, _ = model.loss_and_grad(x, y)
+        for _ in range(30):
+            _loss, grad = model.loss_and_grad(x, y)
+            model.set_flat(model.get_flat() - 0.1 * grad)
+        loss1, _ = model.loss_and_grad(x, y)
+        assert loss1 < loss0 * 0.8

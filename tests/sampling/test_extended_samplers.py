@@ -1,0 +1,149 @@
+"""Tests for the extension baselines: power-of-choice and Oort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.base import DeviceProfile
+from repro.sampling.oort import OortSampler
+from repro.sampling.power_of_choice import PowerOfChoiceSampler
+
+
+def profiles(n=8, size=20):
+    return [DeviceProfile(m, size, np.full(4, 0.25)) for m in range(n)]
+
+
+class TestPowerOfChoiceSampler:
+    def make(self, fraction=1.0):
+        sampler = PowerOfChoiceSampler(candidate_fraction=fraction, rng=0)
+        sampler.setup(profiles(), 1)
+        return sampler
+
+    def test_requires_setup(self):
+        with pytest.raises(RuntimeError):
+            PowerOfChoiceSampler().probabilities(0, 0, np.arange(2), 1.0)
+
+    def test_greedy_selects_top_loss(self):
+        sampler = self.make()
+        for m, loss in enumerate([1.0, 9.0, 3.0, 7.0, 0.5, 2.0, 4.0, 6.0]):
+            sampler.observe_participation(0, m, [], loss)
+        q = sampler.probabilities(1, 0, np.arange(8), capacity=3.0)
+        # Exactly K=3 mass, concentrated on the three largest losses.
+        assert q.sum() == pytest.approx(3.0)
+        np.testing.assert_allclose(sorted(q, reverse=True)[:3], 1.0)
+        assert q[1] == 1.0 and q[3] == 1.0 and q[7] == 1.0
+
+    def test_fractional_budget(self):
+        sampler = self.make()
+        for m in range(8):
+            sampler.observe_participation(0, m, [], float(m))
+        q = sampler.probabilities(1, 0, np.arange(8), capacity=2.5)
+        assert q.sum() == pytest.approx(2.5)
+        assert np.count_nonzero(q == 1.0) == 2
+        assert np.count_nonzero((q > 0) & (q < 1)) == 1
+
+    def test_unseen_devices_ranked_first(self):
+        sampler = self.make()
+        sampler.observe_participation(0, 0, [], 100.0)
+        q = sampler.probabilities(1, 0, np.arange(8), capacity=2.0)
+        # Device 0 is seen (loss 100); the other 7 are unseen (+inf) and
+        # must fill the budget before it.
+        assert q[0] == 0.0
+
+    def test_candidate_fraction_limits_pool(self):
+        sampler = self.make(fraction=0.25)  # pool of 2 out of 8
+        q = sampler.probabilities(0, 0, np.arange(8), capacity=4.0)
+        assert np.count_nonzero(q) <= 2
+
+    def test_capacity_larger_than_members(self):
+        sampler = self.make()
+        q = sampler.probabilities(0, 0, np.arange(3), capacity=10.0)
+        np.testing.assert_allclose(q, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerOfChoiceSampler(candidate_fraction=0.0)
+        with pytest.raises(ValueError):
+            PowerOfChoiceSampler(candidate_fraction=1.5)
+
+    @given(st.integers(1, 10), st.floats(0.5, 6.0))
+    @settings(max_examples=30, deadline=None)
+    def test_eq3_invariant(self, members, capacity):
+        sampler = PowerOfChoiceSampler(rng=members)
+        sampler.setup(profiles(max(members, 2)), 1)
+        q = sampler.probabilities(0, 0, np.arange(members), capacity)
+        assert np.all((q >= 0) & (q <= 1))
+        assert q.sum() <= capacity + 1e-9
+
+
+class TestOortSampler:
+    def make(self, **kwargs):
+        sampler = OortSampler(rng=0, **kwargs)
+        sampler.setup(profiles(), 1)
+        return sampler
+
+    def test_requires_setup(self):
+        with pytest.raises(RuntimeError):
+            OortSampler().probabilities(0, 0, np.arange(2), 1.0)
+        with pytest.raises(RuntimeError):
+            OortSampler().observe_participation(0, 0, [], 1.0)
+
+    def test_high_utility_preferred_once_explored(self):
+        sampler = self.make(speed_sigma=0.0, exploration_scale=0.1)
+        for m in range(8):
+            sampler.observe_participation(0, m, [], 5.0 if m == 3 else 0.5)
+        q = sampler.probabilities(10, 0, np.arange(8), capacity=2.0)
+        assert q[3] == q.max()
+
+    def test_unseen_devices_get_exploration_priority(self):
+        # Equal speeds isolate the staleness term (a slow unseen device
+        # can legitimately rank below a fast seen one otherwise).
+        sampler = self.make(speed_sigma=0.0)
+        for m in range(4):
+            sampler.observe_participation(0, m, [], 1.0)
+        q = sampler.probabilities(5, 0, np.arange(8), capacity=2.0)
+        assert q[4:].min() >= q[:4].max() - 1e-9
+
+    def test_system_penalty_demotes_slow_devices(self):
+        fast = OortSampler(rng=1, speed_sigma=2.0, exploration_scale=0.0,
+                           round_penalty=4.0)
+        fast.setup(profiles(), 1)
+        for m in range(8):
+            fast.observe_participation(0, m, [], 1.0)  # equal utility
+        q = fast.probabilities(10, 0, np.arange(8), capacity=2.0)
+        times = fast._round_time[:8]
+        # The slowest device cannot receive more probability than the fastest.
+        assert q[np.argmax(times)] <= q[np.argmin(times)] + 1e-9
+
+    def test_zero_speed_sigma_disables_system_term(self):
+        sampler = self.make(speed_sigma=0.0)
+        np.testing.assert_allclose(sampler._round_time, sampler._round_time[0])
+
+    def test_statistical_utility_scales_with_dataset_size(self):
+        mixed = OortSampler(rng=0, speed_sigma=0.0, exploration_scale=0.0)
+        mixed.setup(
+            [DeviceProfile(0, 100, np.full(4, 0.25)),
+             DeviceProfile(1, 4, np.full(4, 0.25))],
+            1,
+        )
+        mixed.observe_participation(0, 0, [], 1.0)
+        mixed.observe_participation(0, 1, [], 1.0)
+        assert mixed._stat_utility[0] > mixed._stat_utility[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OortSampler(round_penalty=-1)
+        with pytest.raises(ValueError):
+            OortSampler(exploration_scale=-1)
+        with pytest.raises(ValueError):
+            OortSampler(speed_sigma=-1)
+
+    @given(st.integers(1, 10), st.floats(0.5, 6.0), st.integers(0, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_eq3_invariant(self, members, capacity, t):
+        sampler = OortSampler(rng=members)
+        sampler.setup(profiles(max(members, 2)), 1)
+        q = sampler.probabilities(t, 0, np.arange(members), capacity)
+        assert np.all((q >= -1e-12) & (q <= 1 + 1e-12))
+        assert q.sum() <= capacity + 1e-9

@@ -1,0 +1,189 @@
+"""Tests for the baseline samplers (uniform / class-balance / statistical /
+MACH-P) and the shared Sampler contract."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.edge_sampling import EdgeSamplingConfig
+from repro.sampling import (
+    ClassBalanceSampler,
+    MACHOracleSampler,
+    StatisticalSampler,
+    UniformSampler,
+)
+from repro.sampling.base import DeviceProfile
+
+
+def make_profiles(dists, sizes=None):
+    sizes = sizes if sizes is not None else [20] * len(dists)
+    return [
+        DeviceProfile(m, size, np.asarray(dist, dtype=float))
+        for m, (dist, size) in enumerate(zip(dists, sizes))
+    ]
+
+
+class TestUniformSampler:
+    def test_equal_probabilities(self):
+        sampler = UniformSampler()
+        q = sampler.probabilities(0, 0, np.arange(4), 2.0)
+        np.testing.assert_allclose(q, 0.5)
+
+    def test_caps_at_one(self):
+        q = UniformSampler().probabilities(0, 0, np.arange(2), 5.0)
+        np.testing.assert_allclose(q, 1.0)
+
+    def test_empty_edge(self):
+        assert UniformSampler().probabilities(0, 0, np.zeros(0, dtype=int), 2.0).shape == (0,)
+
+    def test_eq3_satisfied_with_equality(self):
+        q = UniformSampler().probabilities(3, 1, np.arange(10), 4.0)
+        assert q.sum() == pytest.approx(4.0)
+
+
+class TestClassBalanceSampler:
+    def test_requires_setup(self):
+        with pytest.raises(RuntimeError):
+            ClassBalanceSampler().probabilities(0, 0, np.arange(2), 1.0)
+
+    def test_rare_class_device_preferred(self):
+        # Class 0 dominates globally (freq 19/30); class 2 is the rarest
+        # (1/30) and only device 2 holds any of it.
+        dists = [
+            [1.0, 0.0, 0.0],
+            [0.9, 0.1, 0.0],
+            [0.0, 0.85, 0.15],
+        ]
+        sampler = ClassBalanceSampler()
+        sampler.setup(make_profiles(dists), 1)
+        q = sampler.probabilities(0, 0, np.array([0, 1, 2]), 1.0)
+        assert q[2] == q.max()
+
+    def test_balanced_devices_get_equal_weight(self):
+        dists = [[0.5, 0.5], [0.5, 0.5], [0.5, 0.5]]
+        sampler = ClassBalanceSampler()
+        sampler.setup(make_profiles(dists), 1)
+        q = sampler.probabilities(0, 0, np.array([0, 1, 2]), 1.5)
+        np.testing.assert_allclose(q, 0.5)
+
+    def test_temperature_sharpens(self):
+        dists = [[1.0, 0.0], [0.0, 1.0], [0.6, 0.4]]
+        sizes = [30, 10, 20]  # class 1 rare globally
+        mild = ClassBalanceSampler(temperature=1.0)
+        sharp = ClassBalanceSampler(temperature=3.0)
+        for sampler in (mild, sharp):
+            sampler.setup(make_profiles(dists, sizes), 1)
+        q_mild = mild.probabilities(0, 0, np.array([0, 1]), 1.0)
+        q_sharp = sharp.probabilities(0, 0, np.array([0, 1]), 1.0)
+        assert q_sharp[1] > q_mild[1]
+
+    def test_rejects_bad_temperature(self):
+        with pytest.raises(ValueError):
+            ClassBalanceSampler(temperature=0.0)
+
+    def test_setup_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ClassBalanceSampler().setup([], 1)
+
+
+class TestStatisticalSampler:
+    def make(self):
+        sampler = StatisticalSampler(decay=0.5)
+        sampler.setup(make_profiles([[1.0], [1.0], [1.0]]), 1)
+        return sampler
+
+    def test_uniform_before_observations(self):
+        sampler = self.make()
+        q = sampler.probabilities(0, 0, np.array([0, 1, 2]), 1.5)
+        np.testing.assert_allclose(q, 0.5)
+
+    def test_high_loss_device_preferred(self):
+        sampler = self.make()
+        sampler.observe_participation(0, 0, [1.0], mean_loss=5.0)
+        sampler.observe_participation(0, 1, [1.0], mean_loss=0.5)
+        q = sampler.probabilities(1, 0, np.array([0, 1]), 1.0)
+        assert q[0] > q[1]
+
+    def test_unseen_device_gets_mean_utility(self):
+        sampler = self.make()
+        sampler.observe_participation(0, 0, [1.0], mean_loss=4.0)
+        sampler.observe_participation(0, 1, [1.0], mean_loss=2.0)
+        q = sampler.probabilities(1, 0, np.array([0, 1, 2]), 1.5)
+        # Device 2 unseen: its weight is the mean (3.0) — between 0 and 1.
+        assert q[1] < q[2] < q[0]
+
+    def test_ema_update(self):
+        sampler = self.make()
+        sampler.observe_participation(0, 0, [1.0], mean_loss=4.0)
+        sampler.observe_participation(1, 0, [1.0], mean_loss=0.0)
+        assert sampler._utility[0] == pytest.approx(2.0)  # 0.5*4 + 0.5*0
+
+    def test_negative_loss_clamped(self):
+        sampler = self.make()
+        sampler.observe_participation(0, 0, [1.0], mean_loss=-3.0)
+        assert sampler._utility[0] == 0.0
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            StatisticalSampler(decay=1.5)
+
+
+class TestMACHOracleSampler:
+    def make(self):
+        sampler = MACHOracleSampler(EdgeSamplingConfig(alpha=6.0, beta=2.0))
+        sampler.setup(make_profiles([[1.0]] * 4), 1)
+        return sampler
+
+    def test_requires_oracle_flag(self):
+        assert MACHOracleSampler().requires_oracle is True
+
+    def test_uses_true_norms(self):
+        sampler = self.make()
+        for m, norm in enumerate([10.0, 1.0, 5.0, 0.1]):
+            sampler.observe_oracle(0, m, norm)
+        q = sampler.probabilities(0, 0, np.arange(4), 2.0)
+        order = np.argsort([10.0, 1.0, 5.0, 0.1])
+        assert np.all(np.diff(q[order]) >= -1e-12)
+
+    def test_unobserved_devices_prioritized(self):
+        sampler = self.make()
+        sampler.observe_oracle(0, 0, 3.0)
+        q = sampler.probabilities(0, 0, np.arange(2), 1.0)
+        assert q[1] >= q[0]
+
+    def test_rejects_negative_norm(self):
+        sampler = self.make()
+        with pytest.raises(ValueError):
+            sampler.observe_oracle(0, 0, -1.0)
+
+    def test_requires_setup(self):
+        with pytest.raises(RuntimeError):
+            MACHOracleSampler().probabilities(0, 0, np.arange(2), 1.0)
+        with pytest.raises(RuntimeError):
+            MACHOracleSampler().observe_oracle(0, 0, 1.0)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        UniformSampler,
+        ClassBalanceSampler,
+        StatisticalSampler,
+        MACHOracleSampler,
+    ],
+)
+class TestSamplerContract:
+    """Eq. (3) and range invariants hold for every strategy."""
+
+    @given(members=st.integers(1, 12), capacity=st.floats(0.5, 8.0))
+    @settings(max_examples=25, deadline=None)
+    def test_probability_invariants(self, factory, members, capacity):
+        sampler = factory()
+        rng = np.random.default_rng(members)
+        profile_dists = [rng.dirichlet(np.ones(4)) for _ in range(12)]
+        sampler.setup(make_profiles(profile_dists), 2)
+        q = sampler.probabilities(0, 0, np.arange(members), capacity)
+        assert q.shape == (members,)
+        assert np.all(q >= -1e-12) and np.all(q <= 1 + 1e-12)
+        assert q.sum() <= capacity + 1e-9

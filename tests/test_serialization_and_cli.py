@@ -1,0 +1,134 @@
+"""Tests for JSON result serialization, the Adam optimizer and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.run_all import ARTIFACTS, build_parser, main
+from repro.hfl.metrics import TrainingHistory
+from repro.hfl.trainer import TrainingResult
+from repro.nn.architectures import build_mlp
+from repro.nn.layers import Dense
+from repro.nn.optim import SGD, Adam
+from repro.utils.serialization import (
+    load_training_result,
+    save_training_result,
+    training_result_from_dict,
+    training_result_to_dict,
+)
+
+
+def make_result():
+    history = TrainingHistory()
+    history.record(5, 0.4, 1.2)
+    history.record(10, 0.7, 0.8)
+    return TrainingResult(
+        sampler_name="mach",
+        history=history,
+        steps_run=10,
+        participation_counts=np.array([3, 1, 2]),
+        mean_participants_per_step=2.0,
+        reached_target_at=10,
+        diagnostics={"spread": 1.5},
+    )
+
+
+class TestSerialization:
+    def test_round_trip_dict(self):
+        result = make_result()
+        payload = training_result_to_dict(result)
+        rebuilt = training_result_from_dict(payload)
+        assert rebuilt.sampler_name == "mach"
+        assert rebuilt.history.accuracy == [0.4, 0.7]
+        np.testing.assert_array_equal(rebuilt.participation_counts, [3, 1, 2])
+        assert rebuilt.reached_target_at == 10
+        assert rebuilt.diagnostics == {"spread": 1.5}
+
+    def test_payload_is_json_safe(self):
+        payload = training_result_to_dict(make_result())
+        json.dumps(payload)  # must not raise
+
+    def test_file_round_trip(self, tmp_path):
+        path = save_training_result(make_result(), tmp_path / "run.json")
+        loaded = load_training_result(path)
+        assert loaded.steps_run == 10
+        assert loaded.time_to_accuracy(0.6) == 10
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_training_result(tmp_path / "nope.json")
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ValueError, match="missing keys"):
+            training_result_from_dict({"sampler_name": "x"})
+
+
+class TestAdam:
+    def test_descends_loss(self, rng):
+        model = build_mlp(8, num_classes=3, hidden=(8,), rng=rng)
+        optimizer = Adam(lr=0.01)
+        x = rng.normal(size=(16, 8))
+        y = rng.integers(0, 3, size=16)
+        loss0, _ = model.loss_and_grad(x, y)
+        for _ in range(40):
+            model.loss_and_grad(x, y)
+            optimizer.step(model.parameters())
+        loss1, _ = model.loss_and_grad(x, y)
+        assert loss1 < loss0 * 0.7
+
+    def test_adapts_per_coordinate(self, rng):
+        """Adam normalizes step sizes: a coordinate with tiny gradients
+        still moves at ~lr scale, unlike SGD."""
+        layer_sgd = Dense(1, 2, rng=np.random.default_rng(0))
+        layer_adam = Dense(1, 2, rng=np.random.default_rng(0))
+        sgd, adam = SGD(lr=0.01), Adam(lr=0.01)
+        for _ in range(10):
+            layer_sgd.weight.grad[...] = np.array([[1e-4, 1.0]])
+            layer_adam.weight.grad[...] = np.array([[1e-4, 1.0]])
+            sgd.step([layer_sgd.weight])
+            adam.step([layer_adam.weight])
+        sgd_move = np.abs(layer_sgd.weight.value[0, 0] - layer_adam.weight.value[0, 0])
+        # Adam moved the small-gradient coordinate ~1000x more than SGD.
+        assert np.abs(layer_adam.weight.value[0, 0]) > 1e-3
+        assert sgd_move > 0
+
+    def test_reset(self):
+        adam = Adam()
+        layer = Dense(2, 2, rng=np.random.default_rng(0))
+        layer.weight.grad[...] = 1.0
+        adam.step([layer.weight])
+        adam.reset()
+        assert adam.step_count == 0
+        assert not adam._first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Adam(lr=0)
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(weight_decay=-1)
+
+
+class TestRunAllCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.artifact == "all"
+        assert args.preset == "bench"
+
+    def test_artifact_choices(self):
+        assert "fig3" in ARTIFACTS and "theory" in ARTIFACTS
+
+    def test_theory_artifact_runs(self, capsys):
+        assert main(["--artifact", "theory"]) == 0
+        out = capsys.readouterr().out
+        assert "THEORY" in out
+
+    def test_out_dir_written(self, tmp_path, capsys):
+        main(["--artifact", "theory", "--out", str(tmp_path)])
+        assert (tmp_path / "theory.txt").exists()
+
+    def test_bad_repeats(self):
+        with pytest.raises(SystemExit):
+            main(["--artifact", "theory", "--repeats", "0"])

@@ -1,0 +1,168 @@
+"""Tests for repro.utils (rng, validation, probability helpers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.probability import capped_proportional_probabilities
+from repro.utils.rng import SeedSequenceFactory, as_generator
+from repro.utils.validation import (
+    check_fraction,
+    check_membership,
+    check_positive,
+    check_probability_vector,
+    check_shape,
+)
+
+
+class TestAsGenerator:
+    def test_from_int(self):
+        g1, g2 = as_generator(5), as_generator(5)
+        assert g1.normal() == g2.normal()
+
+    def test_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_from_seed_sequence(self):
+        ss = np.random.SeedSequence(3)
+        assert isinstance(as_generator(ss), np.random.Generator)
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSeedSequenceFactory:
+    def test_streams_stable_per_name(self):
+        factory = SeedSequenceFactory(42)
+        assert factory.generator("a").normal() == factory.generator("a").normal()
+
+    def test_streams_differ_across_names(self):
+        factory = SeedSequenceFactory(42)
+        assert factory.generator("a").normal() != factory.generator("b").normal()
+
+    def test_streams_differ_across_master_seeds(self):
+        a = SeedSequenceFactory(1).generator("x").normal()
+        b = SeedSequenceFactory(2).generator("x").normal()
+        assert a != b
+
+    def test_child_factories_independent(self):
+        factory = SeedSequenceFactory(0)
+        child_a = factory.child("run1")
+        child_b = factory.child("run2")
+        assert child_a.generator("data").normal() != child_b.generator("data").normal()
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            SeedSequenceFactory(-1)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 1.0) == 1.0
+        assert check_positive("x", 0.0, strict=False) == 0.0
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0.0)
+        with pytest.raises(ValueError, match="x must be >= 0"):
+            check_positive("x", -1.0, strict=False)
+
+    def test_check_fraction(self):
+        assert check_fraction("f", 0.0) == 0.0
+        assert check_fraction("f", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_fraction("f", 1.01)
+        with pytest.raises(ValueError):
+            check_fraction("f", 0.0, inclusive=False)
+
+    def test_check_probability_vector(self):
+        v = check_probability_vector("p", np.array([0.2, 0.8]), total=1.0)
+        assert v.dtype == float
+        with pytest.raises(ValueError, match="sum"):
+            check_probability_vector("p", np.array([0.2, 0.2]), total=1.0)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_probability_vector("p", np.array([1.5]))
+        with pytest.raises(ValueError, match="1-D"):
+            check_probability_vector("p", np.zeros((2, 2)))
+
+    def test_check_shape(self):
+        check_shape("a", np.zeros((2, 3)), (2, 3))
+        with pytest.raises(ValueError, match="shape"):
+            check_shape("a", np.zeros((2, 3)), (3, 2))
+
+    def test_check_membership(self):
+        assert check_membership("m", "a", ("a", "b")) == "a"
+        with pytest.raises(ValueError, match="one of"):
+            check_membership("m", "c", ("a", "b"))
+
+
+class TestCappedProportionalProbabilities:
+    def test_simple_proportional(self):
+        q = capped_proportional_probabilities(np.array([1.0, 2.0, 1.0]), 2.0)
+        np.testing.assert_allclose(q, [0.5, 1.0, 0.5])
+
+    def test_budget_respected(self):
+        q = capped_proportional_probabilities(np.array([1.0, 1.0, 1.0, 1.0]), 2.0)
+        assert q.sum() == pytest.approx(2.0)
+
+    def test_clipping_and_redistribution(self):
+        # Raw proportional would give [2.4, 0.3, 0.3]; the overflow is
+        # clipped to 1 and the rest split proportionally.
+        q = capped_proportional_probabilities(np.array([8.0, 1.0, 1.0]), 3.0)
+        np.testing.assert_allclose(q, [1.0, 1.0, 1.0])
+
+    def test_partial_clip(self):
+        q = capped_proportional_probabilities(np.array([10.0, 1.0, 1.0]), 2.0)
+        assert q[0] == pytest.approx(1.0)
+        np.testing.assert_allclose(q[1:], 0.5)
+
+    def test_capacity_larger_than_population(self):
+        q = capped_proportional_probabilities(np.array([3.0, 1.0]), 10.0)
+        np.testing.assert_allclose(q, [1.0, 1.0])
+
+    def test_zero_weights_uniform(self):
+        q = capped_proportional_probabilities(np.zeros(4), 2.0)
+        np.testing.assert_allclose(q, 0.5)
+
+    def test_mixed_zero_weights(self):
+        q = capped_proportional_probabilities(np.array([0.0, 0.0, 5.0]), 1.0)
+        assert q[2] == pytest.approx(1.0)
+        # No budget remains for the zero-weight entries.
+        np.testing.assert_allclose(q[:2], 0.0)
+
+    def test_empty(self):
+        assert capped_proportional_probabilities(np.zeros(0), 1.0).shape == (0,)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            capped_proportional_probabilities(np.array([-1.0]), 1.0)
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            capped_proportional_probabilities(np.ones(2), 0.0)
+
+    @given(
+        st.lists(st.floats(0.0, 100.0), min_size=1, max_size=20),
+        st.floats(0.1, 30.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_invariants(self, weights, capacity):
+        """q in [0,1]; Σq = min(capacity, n) (Eq. (3) with equality)."""
+        weights = np.array(weights)
+        q = capped_proportional_probabilities(weights, capacity)
+        assert np.all(q >= 0) and np.all(q <= 1 + 1e-12)
+        expected_total = min(capacity, len(weights))
+        if weights.sum() > 0 or np.all(weights == 0):
+            assert q.sum() == pytest.approx(expected_total, rel=1e-9)
+
+    @given(
+        st.lists(st.floats(0.01, 10.0), min_size=2, max_size=10),
+        st.floats(0.5, 5.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_weight(self, weights, capacity):
+        """Bigger weight never gets a smaller probability."""
+        weights = np.array(weights)
+        q = capped_proportional_probabilities(weights, capacity)
+        order = np.argsort(weights)
+        assert np.all(np.diff(q[order]) >= -1e-9)
