@@ -51,6 +51,13 @@ from repro.mobility import (
     static_trace,
 )
 from repro.nn import build_cifar_cnn, build_mlp, build_mnist_cnn, build_model
+from repro.runtime import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
 from repro.sampling import (
     ClassBalanceSampler,
     MACHOracleSampler,
@@ -86,6 +93,11 @@ __all__ = [
     "build_mnist_cnn",
     "build_cifar_cnn",
     "build_mlp",
+    "Executor",
+    "make_executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
     "Sampler",
     "UniformSampler",
     "ClassBalanceSampler",

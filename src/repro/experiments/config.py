@@ -65,6 +65,8 @@ class ScenarioConfig:
     trace_kind: str = "telecom"  # telecom | markov | static
     aggregation: str = "fedavg"  # see repro.hfl.config.AGGREGATION_MODES
     stay_probability: float = 0.8  # markov trace parameter
+    executor: str = "serial"  # see repro.runtime.EXECUTOR_KINDS
+    num_workers: Optional[int] = None  # None = CPU count (pooled executors)
     seed: int = 0
     mach_alpha: float = 8.0
     mach_beta: float = 2.0

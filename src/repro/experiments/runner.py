@@ -1,7 +1,15 @@
-"""Scenario construction and multi-sampler comparison runs."""
+"""Scenario construction and multi-sampler comparison runs.
+
+Also usable as a CLI for one-off runs with full runtime control::
+
+    PYTHONPATH=src python -m repro.experiments.runner \
+        --preset blobs-bench --sampler mach --executor process --num-workers 4
+"""
 
 from __future__ import annotations
 
+import argparse
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -105,15 +113,18 @@ def run_single(
             sync_interval=config.sync_interval,
             participation_fraction=config.participation_fraction,
             aggregation=config.aggregation,
+            executor=config.executor,
+            num_workers=config.num_workers,
             seed=seed,
         ),
         test_dataset=test,
     )
-    return trainer.run(
-        config.num_steps,
-        target_accuracy=config.target_accuracy,
-        stop_at_target=stop_at_target,
-    )
+    with trainer:
+        return trainer.run(
+            config.num_steps,
+            target_accuracy=config.target_accuracy,
+            stop_at_target=stop_at_target,
+        )
 
 
 @dataclass
@@ -212,3 +223,78 @@ def run_comparison(
         ]
         report.results[name] = runs
     return report
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from repro.experiments.config import PRESETS
+    from repro.runtime import EXECUTOR_KINDS
+
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Run one sampler on one scenario preset.",
+    )
+    parser.add_argument(
+        "--preset", default="blobs-bench", choices=sorted(PRESETS),
+        help="scenario preset (default: blobs-bench)",
+    )
+    parser.add_argument(
+        "--sampler", default="mach", choices=SAMPLER_NAMES,
+        help="device-sampling strategy (default: mach)",
+    )
+    parser.add_argument(
+        "--executor", default="serial", choices=EXECUTOR_KINDS,
+        help="runtime backend for device local updates (default: serial)",
+    )
+    parser.add_argument(
+        "--num-workers", type=int, default=None,
+        help="worker count for pooled executors (default: CPU count)",
+    )
+    parser.add_argument("--steps", type=int, default=None,
+                        help="override the preset's training horizon")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the preset's master seed")
+    parser.add_argument("--stop-at-target", action="store_true",
+                        help="stop as soon as the target accuracy is reached")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from repro.experiments.config import PRESETS
+
+    args = build_parser().parse_args(argv)
+    config = PRESETS[args.preset]
+    overrides = {"executor": args.executor, "num_workers": args.num_workers}
+    if args.steps is not None:
+        overrides["num_steps"] = args.steps
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    config = config.with_overrides(**overrides)
+
+    start = time.perf_counter()
+    result = run_single(config, args.sampler, stop_at_target=args.stop_at_target)
+    elapsed = time.perf_counter() - start
+
+    reached = (
+        f"reached target {config.target_accuracy:.2f} at step {result.reached_target_at}"
+        if result.reached_target_at is not None
+        else f"target {config.target_accuracy:.2f} not reached"
+    )
+    print(
+        f"preset={args.preset} sampler={result.sampler_name} "
+        f"executor={args.executor} workers={args.num_workers or 'auto'}"
+    )
+    print(
+        f"steps={result.steps_run} final_acc={result.history.final_accuracy():.3f} "
+        f"best_acc={result.history.best_accuracy():.3f} "
+        f"mean_participants={result.mean_participants_per_step:.2f}"
+    )
+    print(f"{reached}; wall-clock {elapsed:.2f}s")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

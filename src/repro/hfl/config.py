@@ -65,6 +65,15 @@ class HFLConfig:
         every sync_interval, i.e. at each cloud aggregation).
     seed:
         Master seed for all engine randomness.
+    executor:
+        Which :mod:`repro.runtime` backend runs the device local
+        updates — ``"serial"`` (default, in-process reference path),
+        ``"thread"`` or ``"process"``.  All backends are bit-identical
+        for a fixed seed; the pooled ones trade setup/serialization
+        overhead for multi-core wall-clock.
+    num_workers:
+        Worker count for the pooled executors (``None`` ⇒ CPU count);
+        ignored by the serial backend.
     """
 
     learning_rate: float = 0.01
@@ -76,6 +85,8 @@ class HFLConfig:
     aggregation: str = "delta"
     eval_interval: Optional[int] = None
     seed: int = 0
+    executor: str = "serial"
+    num_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         check_positive("learning_rate", self.learning_rate)
@@ -84,6 +95,14 @@ class HFLConfig:
         check_positive("sync_interval", self.sync_interval)
         check_fraction("participation_fraction", self.participation_fraction)
         check_membership("aggregation", self.aggregation, AGGREGATION_MODES)
+        # Deferred import: repro.runtime sits above the device layer in
+        # the dependency order, so the kinds tuple is pulled at
+        # construction time rather than module-import time.
+        from repro.runtime.base import EXECUTOR_KINDS
+
+        check_membership("executor", self.executor, EXECUTOR_KINDS)
+        if self.num_workers is not None:
+            check_positive("num_workers", self.num_workers)
         if self.eval_interval is not None:
             check_positive("eval_interval", self.eval_interval)
         if self.capacity_per_edge is not None:

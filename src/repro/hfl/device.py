@@ -64,6 +64,7 @@ class Device:
         loss_fn = SoftmaxCrossEntropy()
 
         model.set_flat(start_model)
+        flat = model.get_flat_parameters()
         grad_sq_norms: List[float] = []
         losses: List[float] = []
         for _tau in range(local_epochs):
@@ -72,10 +73,11 @@ class Device:
             grad_sq_norms.append(float(grad @ grad))
             losses.append(loss)
             # w^{t,τ+1} = w^{t,τ} − γ g_m(w^{t,τ}, ξ^{t,τ})
-            model.set_flat(model.get_flat() - learning_rate * grad)
+            flat -= learning_rate * grad
+            model.set_flat_parameters(flat)
         return LocalUpdateResult(
             device_id=self.device_id,
-            final_model=model.get_flat(),
+            final_model=flat,
             grad_sq_norms=grad_sq_norms,
             mean_loss=float(np.mean(losses)),
         )

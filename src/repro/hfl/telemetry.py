@@ -33,7 +33,23 @@ class EdgeRoundRecord:
 
     @property
     def prob_spread(self) -> float:
-        """max/min probability ratio (1.0 for uniform strategies)."""
+        """max/min probability ratio (1.0 for uniform strategies).
+
+        Contract for degenerate rounds:
+
+        - no members, or every probability is zero (nobody samplable):
+          ``1.0`` — the neutral "no spread" value, so empty rounds do
+          not poison averaged diagnostics;
+        - some member has zero probability while another is positive:
+          ``inf`` — the strategy hard-excludes a member, which is an
+          infinite concentration ratio by definition.  Aggregations
+          over rounds must treat ``inf`` explicitly;
+          :meth:`TelemetryRecorder.mean_prob_spread` skips such rounds
+          and reports how many were skipped via
+          :meth:`TelemetryRecorder.hard_exclusion_rounds`.
+        """
+        if self.num_members == 0 or self.prob_max <= 0:
+            return 1.0
         if self.prob_min <= 0:
             return float("inf")
         return self.prob_max / self.prob_min
@@ -96,7 +112,12 @@ class TelemetryRecorder:
         return float(counts.sum() ** 2 / (counts.size * np.sum(counts**2)))
 
     def mean_prob_spread(self) -> float:
-        """Average max/min probability ratio across recorded rounds."""
+        """Average max/min probability ratio across recorded rounds.
+
+        Rounds whose spread is ``inf`` (a member hard-excluded with
+        zero probability — see :attr:`EdgeRoundRecord.prob_spread`) are
+        skipped here; count them via :meth:`hard_exclusion_rounds`.
+        """
         spreads = [
             r.prob_spread
             for r in self.records
@@ -105,6 +126,11 @@ class TelemetryRecorder:
         if not spreads:
             return 1.0
         return float(np.mean(spreads))
+
+    def hard_exclusion_rounds(self) -> int:
+        """Rounds where the strategy gave some member zero probability
+        while sampling others (``prob_spread == inf``)."""
+        return sum(1 for r in self.records if np.isinf(r.prob_spread))
 
     def edge_load(self) -> Dict[int, float]:
         """Mean participants per round for each edge."""

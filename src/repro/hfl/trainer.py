@@ -3,20 +3,32 @@
 Per time step ``t``:
 
 1. every edge ``n`` asks the sampler for its strategy ``Q^t_n`` over the
-   devices currently inside it (line 3);
-2. devices draw their participation indicators and, if sampled, run I
-   local SGD steps from the downloaded edge model (lines 5–9) and feed
-   their gradient experiences back to the sampler (line 10);
-3. the edge aggregates with inverse-probability weights (line 11);
+   devices currently inside it (line 3) and draws the participation
+   indicators — the *plan* phase, sequential in the engine;
+2. sampled devices run their I local SGD steps from the downloaded edge
+   model (lines 5–9) — the *execute* phase, fanned out through the
+   pluggable :mod:`repro.runtime` executor (edges are independent within
+   a step and devices within an edge, so both levels parallelize);
+3. devices feed their gradient experiences back to the sampler (line
+   10) and the edge aggregates with inverse-probability weights (line
+   11) — the *finish* phase, again sequential in member order;
 4. every ``T_g`` steps the cloud aggregates edge models into the global
    model and broadcasts it back (lines 12–13), and the sampler is
    notified (MACH refreshes its UCB estimates on this clock).
+
+Step-synchronous semantics: all strategies of step ``t`` are computed
+from the sampler state at the *beginning* of the step, and participation
+feedback is applied at the end of the step in (edge, member) order.
+Edges in a real deployment act concurrently and cannot observe each
+other's same-step feedback, so this is both the faithful reading of
+Algorithm 1 and what makes edge-level parallelism deterministic: for a
+fixed seed every executor backend produces bit-identical histories.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -29,6 +41,13 @@ from repro.hfl.metrics import TrainingHistory, evaluate_accuracy, evaluate_loss
 from repro.hfl.telemetry import TelemetryRecorder
 from repro.mobility.trace import MobilityTrace
 from repro.nn.model import Model
+from repro.runtime import (
+    EdgeRoundPlan,
+    Executor,
+    LocalUpdateItem,
+    WorkerContext,
+    make_executor,
+)
 from repro.sampling.base import DeviceProfile, Sampler
 from repro.utils.rng import SeedSequenceFactory
 
@@ -50,8 +69,27 @@ class TrainingResult:
         return self.history.time_to_accuracy(target)
 
 
+@dataclass
+class _PendingRound:
+    """One edge's planned round, awaiting its local-update results."""
+
+    edge: Edge
+    members: np.ndarray
+    probabilities: np.ndarray
+    plan: EdgeRoundPlan
+
+
 class HFLTrainer:
-    """Drives Algorithm 1 over a mobility trace with a pluggable sampler."""
+    """Drives Algorithm 1 over a mobility trace with a pluggable sampler.
+
+    ``executor`` selects the :mod:`repro.runtime` backend the local
+    updates run on: ``None`` falls back to ``config.executor`` (default
+    ``"serial"``, the in-process reference path), a string is resolved
+    via :func:`repro.runtime.make_executor` with ``config.num_workers``,
+    and a ready :class:`~repro.runtime.Executor` instance is used as-is
+    (the caller keeps ownership and must close it).  Executors the
+    trainer builds itself are released by :meth:`close`.
+    """
 
     def __init__(
         self,
@@ -62,6 +100,7 @@ class HFLTrainer:
         config: HFLConfig,
         test_dataset: Dataset,
         telemetry: Optional["TelemetryRecorder"] = None,
+        executor: Optional[Union[str, Executor]] = None,
     ) -> None:
         if len(device_datasets) != trace.num_devices:
             raise ValueError(
@@ -76,13 +115,9 @@ class HFLTrainer:
         self.test_dataset = test_dataset
         self.telemetry = telemetry
 
-        seeds = SeedSequenceFactory(config.seed)
-        self._engine_rng = seeds.generator("engine")
-        self._device_rngs = [
-            seeds.generator(f"device/{m}") for m in range(trace.num_devices)
-        ]
+        self._seeds = SeedSequenceFactory(config.seed)
         # One shared scratch network; all model state moves as flat vectors.
-        self.model: Model = model_factory(seeds.generator("model-init"))
+        self.model: Model = model_factory(self._seeds.generator("model-init"))
         dim = self.model.num_parameters
 
         self.devices: List[Device] = [
@@ -110,13 +145,38 @@ class HFLTrainer:
         ]
         self.sampler.setup(profiles, trace.num_edges)
 
+        if executor is None:
+            executor = config.executor
+        if isinstance(executor, str):
+            executor = make_executor(executor, num_workers=config.num_workers)
+            self._owns_executor = True
+        else:
+            self._owns_executor = False
+        self.executor: Executor = executor
+        self.executor.bind(
+            WorkerContext(self.model, self.devices, config.seed)
+        )
+
     # ------------------------------------------------------------------
 
-    def _train_edge(self, t: int, edge: Edge) -> int:
-        """One edge's round at step ``t``; returns the participant count."""
+    def close(self) -> None:
+        """Release the executor's workers if the trainer created them."""
+        if self._owns_executor:
+            self.executor.close()
+
+    def __enter__(self) -> "HFLTrainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _plan_round(self, t: int, edge: Edge) -> Optional[_PendingRound]:
+        """Plan phase for one edge: strategy, oracle probes, indicators."""
         members = self.trace.devices_at(t, edge.edge_id)
         if members.size == 0:
-            return 0
+            return None
         probabilities = self.sampler.probabilities(
             t, edge.edge_id, members, edge.capacity
         )
@@ -130,43 +190,75 @@ class HFLTrainer:
                     edge.model,
                     self.model,
                     self.config.batch_size,
-                    rng=self._device_rngs[m],
+                    rng=self._seeds.round_generator(t, edge.edge_id, f"probe/{m}"),
                 )
                 self.sampler.observe_oracle(t, int(m), norm)
 
-        indicators = Edge.draw_participation(probabilities, rng=self._engine_rng)
-        results: Dict[int, LocalUpdateResult] = {}
-        for m, sampled in zip(members, indicators):
-            if not sampled:
-                continue
-            result = self.devices[m].local_update(
-                edge.model,
-                self.model,
-                self.config.local_epochs,
-                self.config.learning_rate,
-                self.config.batch_size,
-                rng=self._device_rngs[m],
+        indicators = Edge.draw_participation(
+            probabilities,
+            rng=self._seeds.round_generator(t, edge.edge_id, "participation"),
+        )
+        items = tuple(
+            LocalUpdateItem(
+                step=t,
+                edge=edge.edge_id,
+                device_id=int(m),
+                local_epochs=self.config.local_epochs,
+                learning_rate=self.config.learning_rate,
+                batch_size=self.config.batch_size,
             )
-            results[int(m)] = result
+            for m, sampled in zip(members, indicators)
+            if sampled
+        )
+        plan = EdgeRoundPlan(
+            step=t, edge=edge.edge_id, start_model=edge.model, items=items
+        )
+        return _PendingRound(edge, members, probabilities, plan)
+
+    def _finish_round(
+        self,
+        t: int,
+        pending: _PendingRound,
+        results: Dict[int, LocalUpdateResult],
+    ) -> int:
+        """Finish phase for one edge round; returns the participant count."""
+        for m in pending.members:
+            result = results.get(int(m))
+            if result is None:
+                continue
             self.sampler.observe_participation(
                 t, int(m), result.grad_sq_norms, result.mean_loss
             )
             self._participation_counts[m] += 1
 
-        edge.aggregate(
-            list(members), probabilities, results, mode=self.config.aggregation
+        pending.edge.aggregate(
+            list(pending.members),
+            pending.probabilities,
+            results,
+            mode=self.config.aggregation,
         )
         if self.telemetry is not None:
+            participants = [int(m) for m in pending.members if int(m) in results]
             self.telemetry.record_round(
                 t,
-                edge.edge_id,
-                members,
-                probabilities,
-                list(results.keys()),
-                [r.mean_grad_sq_norm for r in results.values()],
-                [r.mean_loss for r in results.values()],
+                pending.edge.edge_id,
+                pending.members,
+                pending.probabilities,
+                participants,
+                [results[m].mean_grad_sq_norm for m in participants],
+                [results[m].mean_loss for m in participants],
             )
         return len(results)
+
+    def _train_step(self, t: int) -> int:
+        """One full time step; returns the total participant count."""
+        pending = [self._plan_round(t, edge) for edge in self.edges]
+        active = [p for p in pending if p is not None]
+        step_results = self.executor.run_step([p.plan for p in active])
+        return sum(
+            self._finish_round(t, p, results)
+            for p, results in zip(active, step_results)
+        )
 
     def _virtual_global(self, t: int) -> np.ndarray:
         """Member-count-weighted average of edge models (equals the cloud
@@ -205,8 +297,7 @@ class HFLTrainer:
 
         steps_run = 0
         for t in range(num_steps):
-            for edge in self.edges:
-                total_participants += self._train_edge(t, edge)
+            total_participants += self._train_step(t)
 
             if t % self.config.sync_interval == 0:
                 counts = np.array(

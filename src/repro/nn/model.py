@@ -30,36 +30,80 @@ class Model:
 
     # ---- flat-vector API ------------------------------------------------
 
+    def _flat_layout(self) -> Tuple[List[Parameter], List[int], int]:
+        """Cached ``(parameters, offsets, total)`` flat layout.
+
+        Architectures are static after construction, so the parameter
+        walk (which :class:`Sequential` re-derives from its layers on
+        every call) is done once; the hot per-minibatch flat-vector
+        copies then run over precomputed slices.
+        """
+        layout = getattr(self, "_flat_layout_cache", None)
+        if layout is None:
+            params = self.parameters()
+            offsets: List[int] = []
+            total = 0
+            for p in params:
+                offsets.append(total)
+                total += p.size
+            layout = (params, offsets, total)
+            self._flat_layout_cache = layout
+        return layout
+
     @property
     def num_parameters(self) -> int:
         """Total number of scalar parameters."""
-        return sum(p.size for p in self.parameters())
+        return self._flat_layout()[2]
+
+    def get_flat_parameters(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Copy all parameters into one flat vector (allocation-free fast path).
+
+        ``out``, when given, must be a float vector of length
+        :attr:`num_parameters` and is filled in place and returned —
+        callers in the local-update loop reuse one scratch buffer
+        instead of paying a fresh concatenate per SGD step.
+        """
+        params, offsets, total = self._flat_layout()
+        if out is None:
+            out = np.empty(total)
+        elif out.shape != (total,):
+            raise ValueError(
+                f"out buffer has shape {out.shape}, expected ({total},)"
+            )
+        for p, offset in zip(params, offsets):
+            out[offset : offset + p.size] = p.value.ravel()
+        return out
+
+    def set_flat_parameters(self, flat: np.ndarray) -> None:
+        """Load parameters from a flat vector (allocation-free fast path)."""
+        params, offsets, total = self._flat_layout()
+        if flat.shape != (total,):
+            raise ValueError(
+                f"flat vector has shape {flat.shape}, expected ({total},)"
+            )
+        for p, offset in zip(params, offsets):
+            p.value[...] = flat[offset : offset + p.size].reshape(p.shape)
 
     def get_flat(self) -> np.ndarray:
         """Copy all parameters into one flat vector."""
-        params = self.parameters()
-        if not params:
-            return np.zeros(0)
-        return np.concatenate([p.value.ravel() for p in params])
+        return self.get_flat_parameters()
 
     def set_flat(self, flat: np.ndarray) -> None:
         """Load parameters from a flat vector produced by :meth:`get_flat`."""
-        flat = np.asarray(flat, dtype=float)
-        if flat.shape != (self.num_parameters,):
-            raise ValueError(
-                f"flat vector has shape {flat.shape}, expected ({self.num_parameters},)"
-            )
-        offset = 0
-        for p in self.parameters():
-            p.value[...] = flat[offset : offset + p.size].reshape(p.shape)
-            offset += p.size
+        self.set_flat_parameters(np.asarray(flat, dtype=float))
 
-    def get_flat_grad(self) -> np.ndarray:
+    def get_flat_grad(self, out: Optional[np.ndarray] = None) -> np.ndarray:
         """Copy all accumulated gradients into one flat vector."""
-        params = self.parameters()
-        if not params:
-            return np.zeros(0)
-        return np.concatenate([p.grad.ravel() for p in params])
+        params, offsets, total = self._flat_layout()
+        if out is None:
+            out = np.empty(total)
+        elif out.shape != (total,):
+            raise ValueError(
+                f"out buffer has shape {out.shape}, expected ({total},)"
+            )
+        for p, offset in zip(params, offsets):
+            out[offset : offset + p.size] = p.grad.ravel()
+        return out
 
     def zero_grad(self) -> None:
         """Reset accumulated gradients on every parameter."""

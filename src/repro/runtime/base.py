@@ -1,0 +1,115 @@
+"""Executor abstraction: how the HFL engine runs its parallel work.
+
+Algorithm 1 is embarrassingly parallel at two levels — edges are
+independent within a time step, and sampled devices within an edge run
+their I local SGD steps independently.  An :class:`Executor` receives,
+once per time step, every edge's :class:`~repro.runtime.work_items
+.EdgeRoundPlan` and returns the per-round local-update results; the
+backend decides how the items are scheduled:
+
+- :class:`~repro.runtime.serial.SerialExecutor` — in-process loop, the
+  default and the reference semantics;
+- :class:`~repro.runtime.threads.ThreadExecutor` — a thread pool with
+  per-thread scratch models (BLAS kernels release the GIL);
+- :class:`~repro.runtime.processes.ProcessExecutor` — a process pool;
+  device datasets and the scratch model ship once per worker, edge
+  models once per round.
+
+All backends produce bit-identical results for a fixed master seed
+because every work item derives its own named random stream from
+``(seed, step, edge, device)`` — see :mod:`repro.runtime.work_items`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+from repro.runtime.work_items import EdgeRoundPlan, RoundResults, WorkerContext
+
+#: Backend names accepted by :func:`make_executor` and ``HFLConfig.executor``.
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+class Executor(ABC):
+    """Runs the local-update work of HFL time steps.
+
+    Life cycle: :meth:`bind` once with the trainer's
+    :class:`WorkerContext`, then :meth:`run_step` once per time step,
+    then :meth:`close` (or use the executor as a context manager).
+    Binding again replaces the context (worker pools are recycled).
+    """
+
+    #: Backend identifier (one of :data:`EXECUTOR_KINDS`).
+    name: str = "executor"
+
+    def __init__(self) -> None:
+        self._context: Optional[WorkerContext] = None
+
+    def bind(self, context: WorkerContext) -> None:
+        """Attach the immutable per-run state all work items share."""
+        if not isinstance(context, WorkerContext):
+            raise TypeError(f"expected WorkerContext, got {type(context).__name__}")
+        self._context = context
+        self._on_bind()
+
+    def _on_bind(self) -> None:
+        """Backend hook: invalidate worker replicas built from an old context."""
+
+    @property
+    def context(self) -> WorkerContext:
+        if self._context is None:
+            raise RuntimeError("bind() must be called before running work")
+        return self._context
+
+    @abstractmethod
+    def run_step(self, plans: Sequence[EdgeRoundPlan]) -> List[RoundResults]:
+        """Execute every plan's items; results align with ``plans``.
+
+        Each returned dict maps device id → :class:`LocalUpdateResult`
+        for exactly the devices of the corresponding plan.  The call is
+        a barrier: all items complete before it returns.
+        """
+
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def resolve_num_workers(num_workers: Optional[int]) -> int:
+    """Default the worker count to the machine's CPU count (min 1)."""
+    if num_workers is None:
+        import os
+
+        return os.cpu_count() or 1
+    if num_workers <= 0:
+        raise ValueError(f"num_workers must be positive, got {num_workers}")
+    return int(num_workers)
+
+
+def make_executor(kind: str, num_workers: Optional[int] = None) -> Executor:
+    """Instantiate a backend by name (``serial`` / ``thread`` / ``process``).
+
+    ``num_workers`` is ignored by the serial backend and defaults to the
+    CPU count for the pooled ones.
+    """
+    if kind == "serial":
+        from repro.runtime.serial import SerialExecutor
+
+        return SerialExecutor()
+    if kind == "thread":
+        from repro.runtime.threads import ThreadExecutor
+
+        return ThreadExecutor(num_workers=num_workers)
+    if kind == "process":
+        from repro.runtime.processes import ProcessExecutor
+
+        return ProcessExecutor(num_workers=num_workers)
+    raise ValueError(
+        f"unknown executor kind {kind!r}; choose from {EXECUTOR_KINDS}"
+    )

@@ -1,0 +1,125 @@
+"""Process-pool backend: true multi-core parallelism for CPU-bound updates.
+
+Shipping discipline (what crosses the process boundary, and how often):
+
+- once per worker, at pool start: the :class:`WorkerContext` — scratch
+  model architecture + weights and every device's dataset — via the
+  pool initializer;
+- once per round chunk: the edge's flattened start model ``w^t_n`` and
+  the (tiny, scalar-only) work items;
+- back per item: the device's flattened final model and its gradient
+  statistics.
+
+A round's items are split into at most ``num_workers`` contiguous
+chunks so device-level parallelism survives even a single-edge step
+while the start model is serialized a bounded number of times per
+round.  Results are keyed by device id, so completion order never
+matters; combined with per-``(step, edge, device)`` seed streams this
+backend is bit-identical to :class:`~repro.runtime.serial.SerialExecutor`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import Future, ProcessPoolExecutor as _ProcessPool
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hfl.device import LocalUpdateResult
+from repro.runtime.base import Executor, resolve_num_workers
+from repro.runtime.work_items import (
+    EdgeRoundPlan,
+    LocalUpdateItem,
+    RoundResults,
+    WorkerContext,
+)
+
+#: Per-process context installed by the pool initializer.
+_WORKER_CONTEXT: Optional[WorkerContext] = None
+
+
+def _init_worker(context: WorkerContext) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _run_chunk(
+    start_model: np.ndarray, items: Tuple[LocalUpdateItem, ...]
+) -> List[Tuple[int, LocalUpdateResult]]:
+    """Worker-side entry: run a chunk of one round's items serially."""
+    if _WORKER_CONTEXT is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker pool was not initialized with a context")
+    return [
+        (item.device_id, _WORKER_CONTEXT.run_item(start_model, item))
+        for item in items
+    ]
+
+
+def _chunk(
+    items: Tuple[LocalUpdateItem, ...], num_chunks: int
+) -> List[Tuple[LocalUpdateItem, ...]]:
+    """Split ``items`` into at most ``num_chunks`` contiguous, even chunks."""
+    num_chunks = min(num_chunks, len(items))
+    if num_chunks <= 1:
+        return [items]
+    bounds = np.linspace(0, len(items), num_chunks + 1).astype(int)
+    return [
+        items[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+    ]
+
+
+class ProcessExecutor(Executor):
+    """Fan device local-updates out over a process pool."""
+
+    name = "process"
+
+    def __init__(self, num_workers: Optional[int] = None) -> None:
+        super().__init__()
+        self.num_workers = resolve_num_workers(num_workers)
+        self._pool: Optional[_ProcessPool] = None
+
+    def _on_bind(self) -> None:
+        # Workers were initialized with the previous context; recycle.
+        self._shutdown_pool()
+
+    def _ensure_pool(self) -> _ProcessPool:
+        if self._pool is None:
+            # Fork (where available) inherits the context without a
+            # pickle round-trip; spawn platforms serialize it once.
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            self._pool = _ProcessPool(
+                max_workers=self.num_workers,
+                mp_context=mp_context,
+                initializer=_init_worker,
+                initargs=(self.context,),
+            )
+        return self._pool
+
+    def run_step(self, plans: Sequence[EdgeRoundPlan]) -> List[RoundResults]:
+        self.context  # fail fast before touching the pool
+        pool = self._ensure_pool()
+        pending: List[Tuple[int, Future]] = []
+        for index, plan in enumerate(plans):
+            for chunk in _chunk(plan.items, self.num_workers):
+                if not chunk:
+                    continue
+                pending.append(
+                    (index, pool.submit(_run_chunk, plan.start_model, chunk))
+                )
+        results: List[RoundResults] = [{} for _ in plans]
+        for index, future in pending:
+            for device_id, result in future.result():
+                results[index][device_id] = result
+        return results
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def close(self) -> None:
+        self._shutdown_pool()

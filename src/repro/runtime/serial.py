@@ -1,0 +1,24 @@
+"""The serial backend: reference semantics, zero overhead, the default."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.runtime.base import Executor
+from repro.runtime.work_items import EdgeRoundPlan, RoundResults
+
+
+class SerialExecutor(Executor):
+    """Run every work item in the calling thread, in plan order.
+
+    Uses the trainer's own scratch model directly (no clone), so an
+    ``executor=None`` / ``executor="serial"`` run costs exactly what the
+    pre-runtime engine did.  The parallel backends are defined to be
+    bit-identical to this one for the same master seed.
+    """
+
+    name = "serial"
+
+    def run_step(self, plans: Sequence[EdgeRoundPlan]) -> List[RoundResults]:
+        context = self.context
+        return [context.run_round(plan) for plan in plans]

@@ -1,0 +1,114 @@
+"""Picklable units of HFL work shipped between the trainer and workers.
+
+The engine's unit of parallelism is one device's local-update loop at
+one ``(time step, edge)`` round.  A :class:`LocalUpdateItem` carries
+only scalar coordinates and hyper-parameters — the edge's start model
+travels once per :class:`EdgeRoundPlan`, and the bulky immutable state
+(scratch model architecture, device datasets) ships once per worker
+inside a :class:`WorkerContext`.
+
+Determinism contract: an item's randomness is derived solely from
+``(master_seed, step, edge, device)`` via
+:meth:`repro.utils.rng.SeedSequenceFactory.work_item_generator`, so any
+executor backend — regardless of worker count, scheduling or completion
+order — reproduces the serial run bit for bit.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.hfl.device import Device, LocalUpdateResult
+from repro.utils.rng import SeedSequenceFactory
+
+
+@dataclass(frozen=True)
+class LocalUpdateItem:
+    """One device's I local SGD steps at one ``(step, edge)`` round."""
+
+    step: int
+    edge: int
+    device_id: int
+    local_epochs: int
+    learning_rate: float
+    batch_size: int
+
+
+@dataclass(frozen=True)
+class EdgeRoundPlan:
+    """All sampled local updates of one edge round, sharing one start model.
+
+    ``start_model`` is the edge model ``w^t_n`` every item downloads —
+    kept once per plan so process backends serialize the parameter
+    vector once per round instead of once per device.
+    """
+
+    step: int
+    edge: int
+    start_model: np.ndarray
+    items: Tuple[LocalUpdateItem, ...]
+
+
+#: Round results keyed by device id, aligned with one :class:`EdgeRoundPlan`.
+RoundResults = Dict[int, LocalUpdateResult]
+
+
+class WorkerContext:
+    """Per-worker immutable state: scratch model, devices, master seed.
+
+    One context is built by the trainer and handed to the executor via
+    :meth:`repro.runtime.base.Executor.bind`.  Backends that own worker
+    replicas (threads, processes) call :meth:`clone` so each worker gets
+    a private scratch model; the device datasets are read-only and
+    shared (threads) or copied on ship (processes).
+    """
+
+    def __init__(
+        self, model, devices: Sequence[Device], master_seed: int
+    ) -> None:
+        if not devices:
+            raise ValueError("worker context needs at least one device")
+        self.model = model
+        self.devices = list(devices)
+        self.seeds = SeedSequenceFactory(master_seed)
+
+    @property
+    def master_seed(self) -> int:
+        return self.seeds.master_seed
+
+    def clone(self) -> "WorkerContext":
+        """A context with a private scratch model (for one worker replica)."""
+        return WorkerContext(
+            copy.deepcopy(self.model), self.devices, self.master_seed
+        )
+
+    def run_item(
+        self, start_model: np.ndarray, item: LocalUpdateItem
+    ) -> LocalUpdateResult:
+        """Execute one local update with its deterministic named stream."""
+        device = self.devices[item.device_id]
+        if device.device_id != item.device_id:
+            raise ValueError(
+                f"device list is not indexed by id: slot {item.device_id} "
+                f"holds device {device.device_id}"
+            )
+        rng = self.seeds.work_item_generator(item.step, item.edge, item.device_id)
+        return device.local_update(
+            start_model,
+            self.model,
+            item.local_epochs,
+            item.learning_rate,
+            item.batch_size,
+            rng=rng,
+        )
+
+    def run_round(self, plan: EdgeRoundPlan) -> RoundResults:
+        """Execute a whole round serially (items in plan order)."""
+        return {
+            item.device_id: self.run_item(plan.start_model, item)
+            for item in plan.items
+        }

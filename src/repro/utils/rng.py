@@ -68,6 +68,51 @@ class SeedSequenceFactory:
         """Return a fresh generator for stream ``name`` (stable per name)."""
         return np.random.default_rng(self.seed_sequence(name))
 
+    # ---- work-item streams (parallel execution) ----------------------------
+
+    @staticmethod
+    def work_item_name(step: int, edge: int, device: int) -> str:
+        """Canonical stream name of one ``(step, edge, device)`` work item."""
+        if step < 0 or edge < 0 or device < 0:
+            raise ValueError(
+                f"work item coordinates must be non-negative, got "
+                f"({step}, {edge}, {device})"
+            )
+        return f"step/{step}/edge/{edge}/device/{device}"
+
+    def work_item_sequence(
+        self, step: int, edge: int, device: int
+    ) -> np.random.SeedSequence:
+        """Seed sequence of the ``(step, edge, device)`` local-update stream.
+
+        Parallel executors derive every work item's randomness from this
+        stream, so the minibatch draws of a device's local update depend
+        only on ``(master_seed, step, edge, device)`` — never on which
+        worker ran the item or in what order items completed.  Serial
+        and parallel runs therefore produce bit-identical histories.
+        """
+        return self.seed_sequence(self.work_item_name(step, edge, device))
+
+    def work_item_generator(
+        self, step: int, edge: int, device: int
+    ) -> np.random.Generator:
+        """Fresh generator for the ``(step, edge, device)`` work item."""
+        return np.random.default_rng(self.work_item_sequence(step, edge, device))
+
+    def round_generator(self, step: int, edge: int, role: str) -> np.random.Generator:
+        """Per-``(step, edge)`` engine stream (e.g. participation draws).
+
+        ``role`` namespaces independent per-round decisions — the
+        trainer uses ``"participation"`` for the Bernoulli indicator
+        draws and ``"probe/<m>"`` for MACH-P oracle probes — so each is
+        order-independent like the work-item streams.
+        """
+        if step < 0 or edge < 0:
+            raise ValueError(
+                f"round coordinates must be non-negative, got ({step}, {edge})"
+            )
+        return self.generator(f"step/{step}/edge/{edge}/{role}")
+
     def child(self, name: str) -> "SeedSequenceFactory":
         """Derive a sub-factory whose streams are independent of the parent's."""
         return SeedSequenceFactory(self._name_key(name) ^ (self.master_seed or 0))

@@ -18,8 +18,22 @@ class TestEdgeRoundRecord:
         assert record.prob_spread == pytest.approx(4.0)
 
     def test_prob_spread_infinite_at_zero_min(self):
+        """Hard exclusion (some member at q=0 while others are positive)
+        is an infinite concentration ratio — the documented contract."""
         record = EdgeRoundRecord(0, 0, 4, 2, 2.0, 0.8, 0.0, None, None)
         assert record.prob_spread == float("inf")
+
+    def test_prob_spread_neutral_when_nobody_samplable(self):
+        """All-zero strategies (and empty rounds) report the neutral 1.0
+        rather than inf, so averaged diagnostics stay finite."""
+        all_zero = EdgeRoundRecord(0, 0, 3, 0, 0.0, 0.0, 0.0, None, None)
+        assert all_zero.prob_spread == 1.0
+        empty = EdgeRoundRecord(0, 0, 0, 0, 0.0, 0.0, 0.0, None, None)
+        assert empty.prob_spread == 1.0
+
+    def test_uniform_strategy_unit_spread(self):
+        record = EdgeRoundRecord(0, 0, 4, 2, 2.0, 0.5, 0.5, None, None)
+        assert record.prob_spread == pytest.approx(1.0)
 
 
 class TestTelemetryRecorderStandalone:
@@ -61,6 +75,44 @@ class TestTelemetryRecorderStandalone:
         telemetry = TelemetryRecorder()
         telemetry.record_round(0, 0, np.arange(3), np.full(3, 1.0), [0], [1], [1])
         assert telemetry.capacity_violations() == 0
+
+    def test_mean_prob_spread_skips_hard_exclusion_rounds(self):
+        telemetry = TelemetryRecorder()
+        telemetry.record_round(  # spread 4.0
+            0, 0, np.arange(2), np.array([0.8, 0.2]), [0], [1.0], [0.5]
+        )
+        telemetry.record_round(  # hard exclusion → inf, skipped
+            1, 0, np.arange(2), np.array([0.8, 0.0]), [0], [1.0], [0.5]
+        )
+        assert telemetry.mean_prob_spread() == pytest.approx(4.0)
+        assert telemetry.hard_exclusion_rounds() == 1
+
+    def test_mean_prob_spread_defaults_to_one(self):
+        assert TelemetryRecorder().mean_prob_spread() == 1.0
+        only_excluding = TelemetryRecorder()
+        only_excluding.record_round(
+            0, 0, np.arange(2), np.array([0.5, 0.0]), [0], [1.0], [0.5]
+        )
+        assert only_excluding.mean_prob_spread() == 1.0
+
+    def test_summary_diagnostics_on_synthetic_records(self):
+        """jain_fairness / edge_load / loss_series over a known history."""
+        telemetry = TelemetryRecorder()
+        telemetry.record_round(
+            0, 0, np.arange(4), np.full(4, 0.5), [0, 1], [1.0, 2.0], [0.4, 0.6]
+        )
+        telemetry.record_round(
+            0, 1, np.arange(4), np.full(4, 0.5), [2], [3.0], [0.2]
+        )
+        telemetry.record_round(
+            1, 0, np.arange(4), np.full(4, 0.5), [0], [1.5], [0.3]
+        )
+        # Counts: device 0 → 2, devices 1, 2 → 1: Jain = 16/(3*6).
+        assert telemetry.jain_fairness() == pytest.approx(16 / 18)
+        assert telemetry.edge_load() == {0: 1.5, 1: 1.0}
+        assert telemetry.loss_series() == pytest.approx([0.5, 0.2, 0.3])
+        assert telemetry.capacity_violations() == 0
+        assert telemetry.hard_exclusion_rounds() == 0
 
 
 class TestTelemetryWithTrainer:

@@ -130,6 +130,69 @@ class TestHFLTrainerBasics:
         assert result.history.steps == [10, 20]
 
 
+class TestRuntimeBackends:
+    """The repro.runtime determinism contract, end to end."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_backends_match_serial_history(self, backend):
+        serial = build_trainer(UniformSampler(), seed=7).run(15)
+        trainer = build_trainer(
+            UniformSampler(), seed=7, executor=backend, num_workers=2
+        )
+        with trainer:
+            parallel = trainer.run(15)
+        assert serial.history.accuracy == parallel.history.accuracy
+        assert serial.history.loss == parallel.history.loss
+        np.testing.assert_array_equal(
+            serial.participation_counts, parallel.participation_counts
+        )
+
+    def test_feedback_driven_sampler_matches_serial(self):
+        """Samplers whose strategies depend on participation feedback
+        (EMA utilities) must still see identical observation order."""
+        serial = build_trainer(StatisticalSampler(), seed=2).run(15)
+        trainer = build_trainer(
+            StatisticalSampler(), seed=2, executor="process", num_workers=2
+        )
+        with trainer:
+            parallel = trainer.run(15)
+        assert serial.history.accuracy == parallel.history.accuracy
+
+    def test_oracle_sampler_matches_serial(self):
+        serial = build_trainer(MACHOracleSampler(), seed=5).run(10)
+        trainer = build_trainer(
+            MACHOracleSampler(), seed=5, executor="thread", num_workers=2
+        )
+        with trainer:
+            parallel = trainer.run(10)
+        assert serial.history.accuracy == parallel.history.accuracy
+
+    def test_executor_instance_ownership(self):
+        """A caller-provided executor is used as-is and never closed."""
+        from repro.runtime import SerialExecutor
+
+        executor = SerialExecutor()
+        devices, test = make_federated_task(
+            "blobs", num_devices=6, samples_per_device=20, test_samples=60, rng=0
+        )
+        trace = static_trace(10, 6, 2, rng=0)
+        trainer = HFLTrainer(
+            lambda rng: build_mlp(16, hidden=(8,), rng=rng), devices, trace,
+            UniformSampler(), HFLConfig(local_epochs=2, batch_size=4), test,
+            executor=executor,
+        )
+        assert trainer.executor is executor
+        assert trainer._owns_executor is False
+        trainer.run(5)
+        trainer.close()  # must not close the caller's executor
+
+    def test_invalid_executor_name_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            HFLConfig(executor="gpu")
+        with pytest.raises(ValueError, match="num_workers"):
+            HFLConfig(num_workers=0)
+
+
 class TestAggregationModes:
     @pytest.mark.parametrize("mode", ["delta", "normalized", "fedavg"])
     def test_stable_modes_learn(self, mode):

@@ -95,6 +95,49 @@ class TestModelFlatVector:
         assert not np.allclose(before, after)
 
 
+class TestFlatParameterFastPath:
+    def test_matches_get_flat(self, small_mlp):
+        np.testing.assert_array_equal(
+            small_mlp.get_flat_parameters(), small_mlp.get_flat()
+        )
+
+    def test_out_buffer_reused(self, small_mlp):
+        out = np.empty(small_mlp.num_parameters)
+        returned = small_mlp.get_flat_parameters(out=out)
+        assert returned is out
+        np.testing.assert_array_equal(out, small_mlp.get_flat())
+
+    def test_out_buffer_wrong_shape_rejected(self, small_mlp):
+        with pytest.raises(ValueError, match="out buffer"):
+            small_mlp.get_flat_parameters(out=np.empty(3))
+        with pytest.raises(ValueError, match="out buffer"):
+            small_mlp.get_flat_grad(out=np.empty(3))
+
+    def test_set_flat_parameters_round_trip(self, small_mlp, rng):
+        new = rng.normal(size=small_mlp.num_parameters)
+        small_mlp.set_flat_parameters(new)
+        np.testing.assert_array_equal(small_mlp.get_flat_parameters(), new)
+
+    def test_set_flat_parameters_rejects_wrong_shape(self, small_mlp):
+        with pytest.raises(ValueError, match="flat vector"):
+            small_mlp.set_flat_parameters(np.zeros(3))
+
+    def test_layout_cache_tracks_parameter_storage(self, small_mlp, rng):
+        """The cached layout aliases live Parameter storage: mutations
+        via layer objects must be visible through the fast path."""
+        first = small_mlp.get_flat_parameters()
+        for p in small_mlp.parameters():
+            p.value[...] = p.value + 1.0
+        second = small_mlp.get_flat_parameters()
+        np.testing.assert_allclose(second, first + 1.0)
+
+    def test_grad_fast_path_matches_loss_and_grad(self, small_mlp, rng):
+        x = rng.normal(size=(4, 6))
+        y = rng.integers(0, 3, size=4)
+        _loss, grad = small_mlp.loss_and_grad(x, y)
+        np.testing.assert_array_equal(grad, small_mlp.get_flat_grad())
+
+
 class TestLossAndGrad:
     def test_returns_fresh_gradient(self, small_mlp, rng):
         x = rng.normal(size=(4, 6))

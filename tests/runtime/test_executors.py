@@ -1,0 +1,193 @@
+"""Tests for the repro.runtime executor subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_blobs_dataset
+from repro.hfl.device import Device
+from repro.nn.architectures import build_mlp
+from repro.runtime import (
+    EXECUTOR_KINDS,
+    EdgeRoundPlan,
+    LocalUpdateItem,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    WorkerContext,
+    make_executor,
+    resolve_num_workers,
+)
+
+
+def make_context(num_devices=6, seed=0):
+    rng = np.random.default_rng(seed)
+    devices = [
+        Device(m, make_blobs_dataset(20, rng=rng)) for m in range(num_devices)
+    ]
+    model = build_mlp(16, hidden=(8,), rng=rng)
+    return WorkerContext(model, devices, master_seed=seed), model
+
+
+def make_plans(model, num_devices=6, num_edges=2, step=0):
+    """Two rounds at one step, splitting the devices across edges."""
+    start = model.get_flat()
+    plans = []
+    per_edge = num_devices // num_edges
+    for edge in range(num_edges):
+        items = tuple(
+            LocalUpdateItem(
+                step=step, edge=edge, device_id=edge * per_edge + k,
+                local_epochs=2, learning_rate=0.05, batch_size=4,
+            )
+            for k in range(per_edge)
+        )
+        plans.append(
+            EdgeRoundPlan(step=step, edge=edge, start_model=start, items=items)
+        )
+    return plans
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", EXECUTOR_KINDS)
+    def test_known_kinds(self, kind):
+        executor = make_executor(kind, num_workers=2)
+        assert executor.name == kind
+        executor.close()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("gpu")
+
+    def test_resolve_num_workers(self):
+        assert resolve_num_workers(3) == 3
+        assert resolve_num_workers(None) >= 1
+        with pytest.raises(ValueError, match="num_workers"):
+            resolve_num_workers(0)
+
+
+class TestWorkerContext:
+    def test_requires_devices(self):
+        model = build_mlp(16, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="at least one device"):
+            WorkerContext(model, [], master_seed=0)
+
+    def test_rejects_misindexed_devices(self):
+        context, model = make_context(num_devices=3)
+        context.devices = list(reversed(context.devices))
+        item = LocalUpdateItem(0, 0, 0, 1, 0.05, 4)
+        with pytest.raises(ValueError, match="not indexed by id"):
+            context.run_item(model.get_flat(), item)
+
+    def test_clone_has_private_model(self):
+        context, model = make_context()
+        clone = context.clone()
+        assert clone.model is not context.model
+        assert clone.devices is not context.devices  # fresh list, same members
+        assert clone.devices[0] is context.devices[0]
+        np.testing.assert_array_equal(
+            clone.model.get_flat(), context.model.get_flat()
+        )
+
+    def test_run_item_is_a_pure_function_of_coordinates(self):
+        """Same (seed, step, edge, device) → same result, any call order."""
+        context, model = make_context()
+        start = model.get_flat()
+        a = LocalUpdateItem(3, 1, 2, 2, 0.05, 4)
+        b = LocalUpdateItem(3, 1, 4, 2, 0.05, 4)
+        first = context.run_item(start, a)
+        context.run_item(start, b)  # interleave other work
+        second = context.run_item(start, a)
+        np.testing.assert_array_equal(first.final_model, second.final_model)
+        assert first.grad_sq_norms == second.grad_sq_norms
+
+    def test_distinct_coordinates_distinct_streams(self):
+        context, model = make_context()
+        start = model.get_flat()
+        base = context.run_item(start, LocalUpdateItem(0, 0, 1, 2, 0.05, 4))
+        for step, edge in [(1, 0), (0, 1)]:
+            other = context.run_item(
+                start, LocalUpdateItem(step, edge, 1, 2, 0.05, 4)
+            )
+            assert not np.array_equal(base.final_model, other.final_model)
+
+
+class TestBackendEquivalence:
+    def run_with(self, executor_factory):
+        context, model = make_context()
+        plans = make_plans(model)
+        with executor_factory() as executor:
+            executor.bind(context.clone())
+            results = executor.run_step(plans)
+        assert len(results) == len(plans)
+        return results
+
+    def test_all_backends_bit_identical(self):
+        serial = self.run_with(SerialExecutor)
+        threaded = self.run_with(lambda: ThreadExecutor(num_workers=3))
+        processes = self.run_with(lambda: ProcessExecutor(num_workers=2))
+        for parallel in (threaded, processes):
+            for round_serial, round_parallel in zip(serial, parallel):
+                assert round_serial.keys() == round_parallel.keys()
+                for device_id in round_serial:
+                    np.testing.assert_array_equal(
+                        round_serial[device_id].final_model,
+                        round_parallel[device_id].final_model,
+                    )
+                    assert (
+                        round_serial[device_id].grad_sq_norms
+                        == round_parallel[device_id].grad_sq_norms
+                    )
+
+    def test_empty_plans_and_empty_rounds(self):
+        context, model = make_context()
+        executor = SerialExecutor()
+        executor.bind(context)
+        assert executor.run_step([]) == []
+        empty_round = EdgeRoundPlan(0, 0, model.get_flat(), ())
+        assert executor.run_step([empty_round]) == [{}]
+
+    def test_executor_reusable_across_steps(self):
+        context, model = make_context()
+        with ThreadExecutor(num_workers=2) as executor:
+            executor.bind(context.clone())
+            first = executor.run_step(make_plans(model, step=0))
+            second = executor.run_step(make_plans(model, step=1))
+        assert first[0].keys() == second[0].keys()
+        # Different step → different minibatch streams → different models.
+        device_id = next(iter(first[0]))
+        assert not np.array_equal(
+            first[0][device_id].final_model, second[0][device_id].final_model
+        )
+
+
+class TestLifecycle:
+    def test_run_before_bind_rejected(self):
+        for executor in (SerialExecutor(), ThreadExecutor(1), ProcessExecutor(1)):
+            with pytest.raises(RuntimeError, match="bind"):
+                executor.run_step([])
+
+    def test_bind_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="WorkerContext"):
+            SerialExecutor().bind("not a context")
+
+    def test_close_idempotent(self):
+        context, _model = make_context()
+        executor = ProcessExecutor(num_workers=1)
+        executor.bind(context)
+        executor.close()
+        executor.close()
+
+    def test_rebind_replaces_context(self):
+        context_a, model = make_context(seed=0)
+        context_b, _ = make_context(seed=1)
+        plans = make_plans(model)
+        with ThreadExecutor(num_workers=2) as executor:
+            executor.bind(context_a.clone())
+            first = executor.run_step(plans)
+            executor.bind(context_b.clone())
+            second = executor.run_step(plans)
+        device_id = next(iter(first[0]))
+        # New master seed → new work-item streams → different results.
+        assert not np.array_equal(
+            first[0][device_id].final_model, second[0][device_id].final_model
+        )

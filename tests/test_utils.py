@@ -57,6 +57,55 @@ class TestSeedSequenceFactory:
         with pytest.raises(ValueError):
             SeedSequenceFactory(-1)
 
+    def test_same_name_same_stream_across_call_orders(self):
+        """(seed, name) fully determines a stream — interleaving other
+        stream requests must not perturb it."""
+        factory = SeedSequenceFactory(7)
+        direct = factory.generator("alpha").normal(size=4)
+        factory.generator("beta")
+        factory.generator("gamma")
+        interleaved = factory.generator("alpha").normal(size=4)
+        np.testing.assert_array_equal(direct, interleaved)
+
+
+class TestWorkItemStreams:
+    def test_stable_across_factories_and_call_orders(self):
+        a = SeedSequenceFactory(3).work_item_generator(5, 2, 9).normal(size=4)
+        factory = SeedSequenceFactory(3)
+        factory.work_item_generator(0, 0, 0)  # unrelated request first
+        b = factory.work_item_generator(5, 2, 9).normal(size=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_distinct_per_coordinate(self):
+        factory = SeedSequenceFactory(3)
+        base = factory.work_item_generator(1, 1, 1).normal()
+        for step, edge, device in [(2, 1, 1), (1, 2, 1), (1, 1, 2)]:
+            assert factory.work_item_generator(step, edge, device).normal() != base
+
+    def test_distinct_across_master_seeds(self):
+        a = SeedSequenceFactory(1).work_item_generator(0, 0, 0).normal()
+        b = SeedSequenceFactory(2).work_item_generator(0, 0, 0).normal()
+        assert a != b
+
+    def test_matches_equivalent_named_stream(self):
+        """The work-item stream is the named stream of its canonical name."""
+        factory = SeedSequenceFactory(11)
+        named = factory.generator("step/4/edge/1/device/6").normal()
+        assert factory.work_item_generator(4, 1, 6).normal() == named
+
+    def test_negative_coordinates_rejected(self):
+        factory = SeedSequenceFactory(0)
+        with pytest.raises(ValueError, match="non-negative"):
+            factory.work_item_sequence(-1, 0, 0)
+        with pytest.raises(ValueError, match="non-negative"):
+            factory.round_generator(0, -1, "participation")
+
+    def test_round_roles_independent(self):
+        factory = SeedSequenceFactory(0)
+        draw = factory.round_generator(3, 1, "participation").normal()
+        probe = factory.round_generator(3, 1, "probe/0").normal()
+        assert draw != probe
+
 
 class TestValidation:
     def test_check_positive(self):
