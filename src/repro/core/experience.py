@@ -89,6 +89,17 @@ class DeviceExperience:
         self.window_participated = True
         self.lifetime_best = max(self.lifetime_best, running_average)
 
+    def record_failure(self) -> None:
+        """A sampled-but-failed step: the device was tried but uploaded
+        nothing.
+
+        Counts toward Σ 1^{t'}_{m,n} — shrinking the exploration bonus
+        — while leaving the exploitation term untouched, so a device
+        that keeps failing drifts down the UCB ranking: the estimator
+        learns device *reliability* alongside gradient magnitude.
+        """
+        self.participation_count += 1
+
     def exploration_bonus(self, t: int) -> float:
         """Term B of Eq. (15); infinite when the device was never sampled."""
         if self.participation_count == 0:
@@ -124,6 +135,30 @@ class DeviceExperience:
             return math.inf
         return self._estimate
 
+    def state_dict(self) -> dict:
+        """JSON-compatible snapshot of the Algorithm-2 state."""
+        return {
+            "buffer": list(self.buffer),
+            "window_best": self.window_best,
+            "window_participated": self.window_participated,
+            "lifetime_best": self.lifetime_best,
+            "participation_count": self.participation_count,
+            "exploit": self._exploit,
+            "estimate": self._estimate,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output."""
+        self.buffer = [float(g) for g in state["buffer"]]
+        self.window_best = float(state["window_best"])
+        self.window_participated = bool(state["window_participated"])
+        self.lifetime_best = float(state["lifetime_best"])
+        self.participation_count = int(state["participation_count"])
+        self._exploit = None if state["exploit"] is None else float(state["exploit"])
+        self._estimate = (
+            None if state["estimate"] is None else float(state["estimate"])
+        )
+
 
 class ExperienceTracker:
     """The population of per-device experiences, synced on Algorithm 1's clock."""
@@ -139,6 +174,10 @@ class ExperienceTracker:
     def record(self, device: int, grad_sq_norms: Sequence[float]) -> None:
         """Record one participated step for ``device`` (Eq. (14))."""
         self._get(device).record(grad_sq_norms)
+
+    def record_failure(self, device: int) -> None:
+        """Record a sampled-but-failed step for ``device``."""
+        self._get(device).record_failure()
 
     def sync_all(self, t: int) -> None:
         """Edge-to-cloud step: refresh every device's UCB estimate."""
@@ -156,6 +195,30 @@ class ExperienceTracker:
         for m, exp in self.devices.items():
             counts[m] = exp.participation_count
         return counts
+
+    def state_dict(self) -> dict:
+        """JSON-compatible snapshot of every device's experience."""
+        return {
+            "window": self.window,
+            "devices": {
+                str(m): exp.state_dict() for m, exp in self.devices.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into an existing tracker."""
+        if state.get("window") != self.window:
+            raise ValueError(
+                f"checkpoint window mode {state.get('window')!r} does not "
+                f"match tracker window {self.window!r}"
+            )
+        devices = state.get("devices", {})
+        if set(devices) != {str(m) for m in self.devices}:
+            raise ValueError(
+                "checkpoint device population does not match the tracker"
+            )
+        for key, device_state in devices.items():
+            self.devices[int(key)].load_state_dict(device_state)
 
     def _get(self, device: int) -> DeviceExperience:
         if device not in self.devices:

@@ -90,6 +90,19 @@ class MACHSampler(Sampler):
         """Algorithm 1 line 10 / Algorithm 2 line 1: buffer the experience."""
         self.tracker.record(device, grad_sq_norms)
 
+    def observe_failure(self, t: int, device: int) -> None:
+        """A sampled device failed to upload: count the attempt so the
+        UCB exploration bonus shrinks without any exploitation credit —
+        the estimator learns device reliability (see
+        :meth:`repro.core.experience.DeviceExperience.record_failure`)."""
+        self.tracker.record_failure(device)
+
     def on_global_sync(self, t: int) -> None:
         """Algorithm 2 lines 2–4: refresh every G̃²_m, clear buffers."""
         self.tracker.sync_all(t)
+
+    def state_dict(self) -> dict:
+        return {"tracker": self.tracker.state_dict()}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.tracker.load_state_dict(state["tracker"])

@@ -67,6 +67,11 @@ class ScenarioConfig:
     stay_probability: float = 0.8  # markov trace parameter
     executor: str = "serial"  # see repro.runtime.EXECUTOR_KINDS
     num_workers: Optional[int] = None  # None = CPU count (pooled executors)
+    # Fault-injection spec (preset name and/or key=value pairs) resolved
+    # by repro.faults.resolve_fault_profile; None = perfect world.
+    fault_profile: Optional[str] = None
+    checkpoint_every: Optional[int] = None  # steps between checkpoints
+    checkpoint_path: Optional[str] = None  # where the checkpoint lands
     seed: int = 0
     mach_alpha: float = 8.0
     mach_beta: float = 2.0
@@ -83,6 +88,13 @@ class ScenarioConfig:
         check_membership("trace_kind", self.trace_kind, ("telecom", "markov", "static"))
         if self.num_edges > self.num_devices:
             raise ValueError("need at least as many devices as edges")
+        if self.fault_profile is not None:
+            # Fail fast on typos: the spec string must parse.
+            from repro.faults import resolve_fault_profile
+
+            resolve_fault_profile(self.fault_profile)
+        if self.checkpoint_every is not None:
+            check_positive("checkpoint_every", self.checkpoint_every)
 
     def with_overrides(self, **kwargs) -> "ScenarioConfig":
         """A copy with the given fields replaced."""

@@ -92,13 +92,37 @@ def build_scenario(
     return devices, test, trace, model_factory
 
 
+def hfl_config_for(config: ScenarioConfig, seed: int) -> HFLConfig:
+    """The :class:`HFLConfig` a scenario implies (shared by benchmarks)."""
+    return HFLConfig(
+        learning_rate=config.learning_rate,
+        local_epochs=config.local_epochs,
+        batch_size=config.batch_size,
+        sync_interval=config.sync_interval,
+        participation_fraction=config.participation_fraction,
+        aggregation=config.aggregation,
+        executor=config.executor,
+        num_workers=config.num_workers,
+        fault_profile=config.fault_profile,
+        checkpoint_every=config.checkpoint_every,
+        checkpoint_path=config.checkpoint_path,
+        seed=seed,
+    )
+
+
 def run_single(
     config: ScenarioConfig,
     sampler_name: str,
     seed: Optional[int] = None,
     stop_at_target: bool = False,
+    telemetry=None,
+    resume_from=None,
 ) -> TrainingResult:
-    """Run one sampler on one freshly built scenario instance."""
+    """Run one sampler on one freshly built scenario instance.
+
+    ``resume_from`` (a checkpoint path or
+    :class:`~repro.faults.TrainerCheckpoint`) continues a killed run.
+    """
     seed = config.seed if seed is None else seed
     devices, test, trace, model_factory = build_scenario(config, seed)
     trainer = HFLTrainer(
@@ -106,24 +130,16 @@ def run_single(
         device_datasets=devices,
         trace=trace,
         sampler=make_sampler(sampler_name, config),
-        config=HFLConfig(
-            learning_rate=config.learning_rate,
-            local_epochs=config.local_epochs,
-            batch_size=config.batch_size,
-            sync_interval=config.sync_interval,
-            participation_fraction=config.participation_fraction,
-            aggregation=config.aggregation,
-            executor=config.executor,
-            num_workers=config.num_workers,
-            seed=seed,
-        ),
+        config=hfl_config_for(config, seed),
         test_dataset=test,
+        telemetry=telemetry,
     )
     with trainer:
         return trainer.run(
             config.num_steps,
             target_accuracy=config.target_accuracy,
             stop_at_target=stop_at_target,
+            resume_from=resume_from,
         )
 
 
@@ -259,6 +275,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override the preset's master seed")
     parser.add_argument("--stop-at-target", action="store_true",
                         help="stop as soon as the target accuracy is reached")
+    parser.add_argument(
+        "--fault-profile", default=None, metavar="SPEC",
+        help="fault injection: a preset (none/mild/moderate/severe) and/or "
+             "key=value pairs, e.g. 'severe' or 'dropout=0.2,corruption=0.05'",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="K",
+        help="write a resumable checkpoint every K completed steps",
+    )
+    parser.add_argument(
+        "--checkpoint-path", default=None, metavar="PATH",
+        help="checkpoint file location (default: checkpoint.json when "
+             "--checkpoint-every is set)",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume a killed run from the checkpoint at PATH",
+    )
     return parser
 
 
@@ -272,10 +306,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides["num_steps"] = args.steps
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.fault_profile is not None:
+        overrides["fault_profile"] = args.fault_profile
+    if args.checkpoint_every is not None:
+        overrides["checkpoint_every"] = args.checkpoint_every
+        overrides["checkpoint_path"] = args.checkpoint_path or "checkpoint.json"
     config = config.with_overrides(**overrides)
 
+    telemetry = None
+    if args.fault_profile is not None:
+        from repro.hfl.telemetry import TelemetryRecorder
+
+        telemetry = TelemetryRecorder()
+
     start = time.perf_counter()
-    result = run_single(config, args.sampler, stop_at_target=args.stop_at_target)
+    result = run_single(
+        config,
+        args.sampler,
+        stop_at_target=args.stop_at_target,
+        telemetry=telemetry,
+        resume_from=args.resume,
+    )
     elapsed = time.perf_counter() - start
 
     reached = (
@@ -293,6 +344,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"mean_participants={result.mean_participants_per_step:.2f}"
     )
     print(f"{reached}; wall-clock {elapsed:.2f}s")
+    if telemetry is not None:
+        summary = telemetry.fault_summary()
+        faults = (
+            " ".join(f"{k}={v}" for k, v in sorted(summary.items()))
+            if summary
+            else "none"
+        )
+        print(
+            f"faults: {faults}; degraded_rounds={len(telemetry.degraded_rounds)} "
+            f"lost_rounds={telemetry.lost_round_count()} "
+            f"stale_syncs={telemetry.stale_sync_count()} "
+            f"sim_backoff={telemetry.simulated_backoff_seconds():.1f}s"
+        )
     return 0
 
 

@@ -1,0 +1,148 @@
+"""Checkpoint/resume for :class:`repro.hfl.trainer.HFLTrainer`.
+
+A :class:`TrainerCheckpoint` captures everything the trainer mutates
+over a run — edge and cloud models, the last successfully synced edge
+models (the sync-failure fallback), the sampler's learned state, the
+telemetry stream, the training history and counters — at a step
+boundary.  Because every random draw in the engine comes from a named
+stream keyed by ``(step, edge, device)`` (never from a stateful
+cursor), restoring this snapshot and continuing at step ``k`` replays
+the exact byte-for-byte history an uninterrupted run would have
+produced; ``tests/faults/test_checkpoint.py`` asserts it.
+
+Serialization goes through :mod:`repro.utils.serialization`'s tagged
+JSON (:func:`~repro.utils.serialization.to_jsonable`), which
+round-trips float64 arrays exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.utils.serialization import (
+    from_jsonable,
+    load_json,
+    save_json,
+    to_jsonable,
+)
+
+#: Format marker so future layout changes can be detected on load.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class TrainerCheckpoint:
+    """One resumable snapshot of an HFL run at a step boundary.
+
+    ``step`` counts *completed* steps: resuming continues at ``t =
+    step``.  ``master_seed`` and ``sampler_name`` fingerprint the run so
+    a checkpoint cannot silently resume a different experiment.
+    """
+
+    step: int
+    master_seed: int
+    sampler_name: str
+    edge_models: List[np.ndarray]
+    cloud_model: np.ndarray
+    last_synced_edge_models: List[np.ndarray]
+    sampler_state: Dict[str, Any]
+    history_steps: List[int]
+    history_accuracy: List[float]
+    history_loss: List[float]
+    participation_counts: np.ndarray
+    total_participants: int
+    reached_target_at: Optional[int] = None
+    telemetry_state: Optional[Dict[str, Any]] = None
+    version: int = CHECKPOINT_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Encode into a JSON-safe dict (arrays tagged for exactness)."""
+        return to_jsonable(
+            {
+                "version": self.version,
+                "step": self.step,
+                "master_seed": self.master_seed,
+                "sampler_name": self.sampler_name,
+                "edge_models": self.edge_models,
+                "cloud_model": self.cloud_model,
+                "last_synced_edge_models": self.last_synced_edge_models,
+                "sampler_state": self.sampler_state,
+                "history_steps": self.history_steps,
+                "history_accuracy": self.history_accuracy,
+                "history_loss": self.history_loss,
+                "participation_counts": self.participation_counts,
+                "total_participants": self.total_participants,
+                "reached_target_at": self.reached_target_at,
+                "telemetry_state": self.telemetry_state,
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TrainerCheckpoint":
+        """Rebuild from :meth:`to_dict` output."""
+        required = {
+            "step",
+            "master_seed",
+            "sampler_name",
+            "edge_models",
+            "cloud_model",
+            "last_synced_edge_models",
+            "sampler_state",
+        }
+        missing = required - set(payload)
+        if missing:
+            raise ValueError(f"checkpoint missing keys: {sorted(missing)}")
+        version = int(payload.get("version", CHECKPOINT_VERSION))
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version} "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        decoded = from_jsonable(payload)
+        return cls(
+            step=int(decoded["step"]),
+            master_seed=int(decoded["master_seed"]),
+            sampler_name=str(decoded["sampler_name"]),
+            edge_models=[np.asarray(m, dtype=float) for m in decoded["edge_models"]],
+            cloud_model=np.asarray(decoded["cloud_model"], dtype=float),
+            last_synced_edge_models=[
+                np.asarray(m, dtype=float)
+                for m in decoded["last_synced_edge_models"]
+            ],
+            sampler_state=dict(decoded["sampler_state"]),
+            history_steps=[int(s) for s in decoded.get("history_steps", [])],
+            history_accuracy=list(decoded.get("history_accuracy", [])),
+            history_loss=list(decoded.get("history_loss", [])),
+            participation_counts=np.asarray(
+                decoded.get("participation_counts", []), dtype=int
+            ),
+            total_participants=int(decoded.get("total_participants", 0)),
+            reached_target_at=decoded.get("reached_target_at"),
+            telemetry_state=decoded.get("telemetry_state"),
+            version=version,
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the checkpoint atomically (write-then-rename).
+
+        A crash mid-write must never leave a truncated checkpoint where
+        a resumable one used to be.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        save_json(self.to_dict(), tmp)
+        tmp.replace(path)
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TrainerCheckpoint":
+        """Read a checkpoint written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"no checkpoint at {path}")
+        return cls.from_dict(load_json(path))

@@ -1,0 +1,199 @@
+"""Fault profiles: the configurable failure surface of an HFL run.
+
+The paper's premise is that devices are mobile and unreliable — they
+wander out of edge coverage mid-round and their uploads cannot be
+assumed.  A :class:`FaultProfile` bundles the rates of the four fault
+types the engine injects (see :mod:`repro.faults.model`):
+
+- **departure** — a sampled device leaves before its upload lands,
+  either at random (``dropout_rate``) or coupled to the mobility trace
+  (``mobility_departure_rate``: the device is inside the edge at the
+  plan phase but outside it by the finish phase);
+- **straggler** — the device's simulated compute + upload time (from
+  :class:`repro.hfl.latency.LatencySimulator`) exceeds the per-round
+  deadline;
+- **corruption** — the upload arrives with NaN/Inf injected into the
+  flat parameter vector (a lossy link / faulty device);
+- **sync failure** — one edge→cloud aggregation attempt fails; the
+  trainer retries with bounded exponential backoff and falls back to
+  the edge's last successfully synced model when all retries fail.
+
+Profiles are frozen and hashable so they can ride inside scenario
+configurations; :func:`resolve_fault_profile` parses the CLI string
+form (a preset name, ``key=value`` pairs, or both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.hfl.latency import LatencyConfig
+from repro.utils.validation import check_fraction, check_positive
+
+#: The canonical fault kind labels used in telemetry and reports.
+FAULT_KINDS = ("departure", "straggler", "corruption", "sync_failure")
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Rates and knobs of the four seeded fault types.
+
+    The default profile is the perfect world (all rates zero, no
+    deadline) — constructing a trainer with it is exactly equivalent to
+    passing no profile at all.
+    """
+
+    #: Probability a sampled device's upload is lost at random.
+    dropout_rate: float = 0.0
+    #: Probability the upload is lost when the device left the edge's
+    #: coverage between the plan and finish phases (mobility-coupled).
+    mobility_departure_rate: float = 0.0
+    #: Per-round deadline in simulated seconds; ``None`` disables
+    #: straggler timeouts.
+    straggler_deadline_seconds: Optional[float] = None
+    #: Lognormal sigma of the per-round compute-time jitter.
+    straggler_jitter_sigma: float = 0.5
+    #: Latency model driving compute/upload times for the deadline.
+    latency: LatencyConfig = field(default_factory=LatencyConfig)
+    #: Probability an upload arrives with NaN/Inf injected.
+    corruption_rate: float = 0.0
+    #: Probability one edge→cloud aggregation attempt fails.
+    sync_failure_rate: float = 0.0
+    #: Retries after the first failed edge→cloud attempt.
+    max_sync_retries: int = 3
+    #: First-retry backoff; attempt ``i`` waits ``base * 2**i`` seconds.
+    backoff_base_seconds: float = 0.5
+    #: Cap on any single backoff wait.
+    backoff_cap_seconds: float = 8.0
+
+    def __post_init__(self) -> None:
+        check_fraction("dropout_rate", self.dropout_rate)
+        check_fraction("mobility_departure_rate", self.mobility_departure_rate)
+        check_fraction("corruption_rate", self.corruption_rate)
+        check_fraction("sync_failure_rate", self.sync_failure_rate)
+        if self.straggler_deadline_seconds is not None:
+            check_positive(
+                "straggler_deadline_seconds", self.straggler_deadline_seconds
+            )
+        if self.straggler_jitter_sigma < 0:
+            raise ValueError(
+                f"straggler_jitter_sigma must be >= 0, got "
+                f"{self.straggler_jitter_sigma}"
+            )
+        if self.max_sync_retries < 0:
+            raise ValueError(
+                f"max_sync_retries must be >= 0, got {self.max_sync_retries}"
+            )
+        check_positive("backoff_base_seconds", self.backoff_base_seconds)
+        check_positive("backoff_cap_seconds", self.backoff_cap_seconds)
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault type can actually fire under this profile."""
+        return (
+            self.dropout_rate > 0
+            or self.mobility_departure_rate > 0
+            or self.straggler_deadline_seconds is not None
+            or self.corruption_rate > 0
+            or self.sync_failure_rate > 0
+        )
+
+    def backoff_seconds(self, failed_attempts: int) -> float:
+        """Total simulated backoff after ``failed_attempts`` failures."""
+        if failed_attempts < 0:
+            raise ValueError(
+                f"failed_attempts must be >= 0, got {failed_attempts}"
+            )
+        return sum(
+            min(self.backoff_base_seconds * 2**i, self.backoff_cap_seconds)
+            for i in range(failed_attempts)
+        )
+
+    def with_overrides(self, **kwargs) -> "FaultProfile":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Named profiles for the CLI and benchmarks.  "severe" enables every
+#: fault type at rates high enough that a short smoke run exercises all
+#: of them.
+FAULT_PRESETS: Dict[str, FaultProfile] = {
+    "none": FaultProfile(),
+    "mild": FaultProfile(
+        dropout_rate=0.05,
+        mobility_departure_rate=0.25,
+        corruption_rate=0.01,
+        sync_failure_rate=0.05,
+    ),
+    "moderate": FaultProfile(
+        dropout_rate=0.10,
+        mobility_departure_rate=0.50,
+        straggler_deadline_seconds=6.0,
+        corruption_rate=0.02,
+        sync_failure_rate=0.10,
+    ),
+    "severe": FaultProfile(
+        dropout_rate=0.25,
+        mobility_departure_rate=1.0,
+        straggler_deadline_seconds=3.0,
+        corruption_rate=0.05,
+        sync_failure_rate=0.25,
+        max_sync_retries=2,
+    ),
+}
+
+#: ``key=value`` spellings accepted by :func:`resolve_fault_profile`.
+_SPEC_KEYS = {
+    "dropout": ("dropout_rate", float),
+    "mobility": ("mobility_departure_rate", float),
+    "deadline": ("straggler_deadline_seconds", float),
+    "jitter": ("straggler_jitter_sigma", float),
+    "corruption": ("corruption_rate", float),
+    "sync_failure": ("sync_failure_rate", float),
+    "max_sync_retries": ("max_sync_retries", int),
+}
+
+
+def resolve_fault_profile(
+    spec: "Optional[str | FaultProfile]",
+) -> Optional[FaultProfile]:
+    """Turn a CLI/scenario fault spec into a profile (``None`` stays ``None``).
+
+    Accepts a ready :class:`FaultProfile`, a preset name (``"mild"``),
+    ``key=value`` pairs (``"dropout=0.2,corruption=0.05"``) or a preset
+    followed by overrides (``"severe,deadline=2.0"``).  Keys:
+    ``dropout``, ``mobility``, ``deadline``, ``jitter``, ``corruption``,
+    ``sync_failure``, ``max_sync_retries``.
+    """
+    if spec is None or isinstance(spec, FaultProfile):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"fault profile must be a string or FaultProfile, got {type(spec).__name__}"
+        )
+    profile = FaultProfile()
+    overrides = {}
+    for i, token in enumerate(t.strip() for t in spec.split(",") if t.strip()):
+        if "=" not in token:
+            if i != 0:
+                raise ValueError(
+                    f"preset name must come first in fault spec {spec!r}"
+                )
+            if token not in FAULT_PRESETS:
+                raise ValueError(
+                    f"unknown fault preset {token!r}; choose from "
+                    f"{sorted(FAULT_PRESETS)}"
+                )
+            profile = FAULT_PRESETS[token]
+            continue
+        key, _, value = token.partition("=")
+        key = key.strip()
+        if key not in _SPEC_KEYS:
+            raise ValueError(
+                f"unknown fault spec key {key!r}; choose from "
+                f"{sorted(_SPEC_KEYS)}"
+            )
+        field_name, cast = _SPEC_KEYS[key]
+        overrides[field_name] = cast(value)
+    return profile.with_overrides(**overrides) if overrides else profile

@@ -7,7 +7,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.hfl.edge import Edge
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_finite, check_positive
 
 
 class Cloud:
@@ -24,11 +24,22 @@ class Cloud:
 
     def aggregate(self, edges: Sequence[Edge], member_counts: np.ndarray) -> np.ndarray:
         """Compute ``w^{t+1} = Σ_n (|M^t_n| / |M|) w^{t+1}_n``."""
+        return self.aggregate_models([edge.model for edge in edges], member_counts)
+
+    def aggregate_models(
+        self, models: Sequence[np.ndarray], member_counts: np.ndarray
+    ) -> np.ndarray:
+        """Eq. (6) over explicit flat models.
+
+        The trainer passes the uploads that actually arrived — under
+        sync faults an edge's slot may hold its *stale* last-synced
+        model rather than ``edge.model``.
+        """
         member_counts = np.asarray(member_counts, dtype=float)
-        if member_counts.shape != (len(edges),):
+        if member_counts.shape != (len(models),):
             raise ValueError(
-                f"member_counts must align with edges: "
-                f"{member_counts.shape} vs {len(edges)}"
+                f"member_counts must align with models: "
+                f"{member_counts.shape} vs {len(models)}"
             )
         if np.any(member_counts < 0):
             raise ValueError("member counts must be non-negative")
@@ -36,9 +47,10 @@ class Cloud:
         if total == 0:
             raise ValueError("no devices in the system at this step")
         aggregate = np.zeros_like(self.model)
-        for edge, count in zip(edges, member_counts):
+        for model, count in zip(models, member_counts):
             if count > 0:
-                aggregate += (count / total) * edge.model
+                aggregate += (count / total) * model
+        check_finite("aggregated cloud model", aggregate)
         self.model = aggregate
         return self.model
 

@@ -74,6 +74,20 @@ class HFLConfig:
     num_workers:
         Worker count for the pooled executors (``None`` ⇒ CPU count);
         ignored by the serial backend.
+    fault_profile:
+        Fault injection for the run — a
+        :class:`repro.faults.FaultProfile`, a spec string accepted by
+        :func:`repro.faults.resolve_fault_profile` (e.g. ``"severe"`` or
+        ``"dropout=0.2,corruption=0.05"``), or ``None`` / an all-zero
+        profile for the perfect world.  Faults are drawn from named
+        ``(step, edge, device)`` seed streams, so runs stay
+        bit-identical across executor backends under any profile.
+    checkpoint_every:
+        Write a resumable :class:`repro.faults.TrainerCheckpoint` every
+        this many completed steps (``None`` disables checkpointing).
+    checkpoint_path:
+        Where the checkpoint file is written (required when
+        ``checkpoint_every`` is set; overwritten in place, atomically).
     """
 
     learning_rate: float = 0.01
@@ -87,6 +101,9 @@ class HFLConfig:
     seed: int = 0
     executor: str = "serial"
     num_workers: Optional[int] = None
+    fault_profile: Optional[object] = None
+    checkpoint_every: Optional[int] = None
+    checkpoint_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         check_positive("learning_rate", self.learning_rate)
@@ -103,6 +120,17 @@ class HFLConfig:
         check_membership("executor", self.executor, EXECUTOR_KINDS)
         if self.num_workers is not None:
             check_positive("num_workers", self.num_workers)
+        # Same deferred-import rationale: repro.faults sits above this
+        # module (it imports repro.hfl.latency).
+        from repro.faults.profile import resolve_fault_profile
+
+        self.fault_profile = resolve_fault_profile(self.fault_profile)
+        if self.checkpoint_every is not None:
+            check_positive("checkpoint_every", self.checkpoint_every)
+            if self.checkpoint_path is None:
+                raise ValueError(
+                    "checkpoint_every requires checkpoint_path to be set"
+                )
         if self.eval_interval is not None:
             check_positive("eval_interval", self.eval_interval)
         if self.capacity_per_edge is not None:

@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.hfl.device import LocalUpdateResult
 from repro.utils.rng import RngLike, as_generator
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_finite, check_positive
 
 
 class Edge:
@@ -47,6 +47,7 @@ class Edge:
         probabilities: np.ndarray,
         results: Dict[int, LocalUpdateResult],
         mode: str = "delta",
+        renormalize: bool = False,
     ) -> np.ndarray:
         """Aggregate the sampled devices' models (Eq. (5)) into ``w^{t+1}_n``.
 
@@ -69,6 +70,16 @@ class Edge:
             raw-model sum by the realized weight total (biased, low
             variance).  When no member participated, the edge keeps its
             previous model.
+        renormalize:
+            Divide the inverse-probability weights by their realized sum
+            so they sum to 1 over the devices actually present in
+            ``results``.  The trainer sets this when a fault dropped at
+            least one sampled upload: the realized participation
+            probability is then no longer the strategy's ``q``, so the
+            raw Eq. (5) weights would over- or under-shoot and a
+            survivor-weighted average is the graceful degradation.
+            No-op for the already-normalized modes (``"normalized"``,
+            ``"fedavg"``).
         """
         if mode not in ("delta", "model", "normalized", "fedavg"):
             raise ValueError(f"unknown aggregation mode {mode!r}")
@@ -102,10 +113,13 @@ class Edge:
             else:
                 accumulator += weight * result.final_model
 
+        if renormalize and mode in ("delta", "model"):
+            accumulator = accumulator / total_weight
         if mode in ("delta", "fedavg"):
             self.model = self.model + accumulator
         elif mode == "model":
             self.model = accumulator
         else:  # normalized
             self.model = accumulator / total_weight
+        check_finite("aggregated edge model", self.model)
         return self.model

@@ -7,12 +7,19 @@ realized participant count and the participants' gradient statistics.
 The derived metrics — participation fairness, probability concentration
 and per-edge load — power the ablation analyses and let downstream
 users debug sampling strategies without touching the engine.
+
+Under an active fault profile the recorder additionally tracks fault
+counters per kind, the degraded rounds (rounds that lost at least one
+sampled upload and aggregated over the survivors), and the edge→cloud
+sync attempts with their simulated backoff.  The whole recorder state
+round-trips through :meth:`TelemetryRecorder.state_dict` so checkpoint
+resume reproduces the telemetry stream exactly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -55,12 +62,49 @@ class EdgeRoundRecord:
         return self.prob_max / self.prob_min
 
 
+@dataclass(frozen=True)
+class DegradedRoundRecord:
+    """A round that lost at least one sampled upload to a fault."""
+
+    t: int
+    edge: int
+    #: Devices whose participation indicator was 1 (pre-fault).
+    num_sampled: int
+    #: Sampled uploads lost, by fault kind.
+    failures: Dict[str, int]
+
+    @property
+    def num_failed(self) -> int:
+        return sum(self.failures.values())
+
+    @property
+    def lost_everyone(self) -> bool:
+        """The round lost every sampled upload (edge kept its model)."""
+        return self.num_failed == self.num_sampled
+
+
+@dataclass(frozen=True)
+class SyncAttemptRecord:
+    """One edge's edge→cloud attempt sequence at a sync step."""
+
+    t: int
+    edge: int
+    failed_attempts: int
+    #: All retries failed; the cloud used the edge's stale model.
+    used_stale: bool
+    #: Simulated exponential-backoff seconds spent on the failures.
+    backoff_seconds: float
+
+
 class TelemetryRecorder:
     """Collects per-round records and computes summary diagnostics."""
 
     def __init__(self) -> None:
         self.records: List[EdgeRoundRecord] = []
         self._participation: Dict[int, int] = {}
+        self.fault_counts: Dict[str, int] = {}
+        self.degraded_rounds: List[DegradedRoundRecord] = []
+        self.sync_attempts: List[SyncAttemptRecord] = []
 
     # -- hooks called by the trainer ---------------------------------------
 
@@ -93,6 +137,49 @@ class TelemetryRecorder:
         )
         for device in participant_ids:
             self._participation[device] = self._participation.get(device, 0) + 1
+
+    def record_faults(
+        self, t: int, edge: int, failures: Mapping[int, str], num_sampled: int
+    ) -> None:
+        """Record one degraded round: ``failures`` maps device → fault kind."""
+        if not failures:
+            return
+        by_kind: Dict[str, int] = {}
+        for kind in failures.values():
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+            self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
+        self.degraded_rounds.append(
+            DegradedRoundRecord(
+                t=t, edge=edge, num_sampled=num_sampled, failures=by_kind
+            )
+        )
+
+    def record_sync_attempt(
+        self,
+        t: int,
+        edge: int,
+        failed_attempts: int,
+        used_stale: bool,
+        backoff_seconds: float,
+    ) -> None:
+        """Record one edge's edge→cloud attempt sequence (failures only)."""
+        self.sync_attempts.append(
+            SyncAttemptRecord(
+                t=t,
+                edge=edge,
+                failed_attempts=failed_attempts,
+                used_stale=used_stale,
+                backoff_seconds=backoff_seconds,
+            )
+        )
+        if failed_attempts > 0:
+            self.fault_counts["sync_failure"] = (
+                self.fault_counts.get("sync_failure", 0) + failed_attempts
+            )
+        if used_stale:
+            self.fault_counts["stale_sync"] = (
+                self.fault_counts.get("stale_sync", 0) + 1
+            )
 
     # -- summaries ----------------------------------------------------------
 
@@ -156,3 +243,54 @@ class TelemetryRecorder:
     def loss_series(self) -> List[float]:
         """Mean participant loss per recorded round (None rounds skipped)."""
         return [r.mean_loss for r in self.records if r.mean_loss is not None]
+
+    def fault_summary(self) -> Dict[str, int]:
+        """Total fault events by kind (empty for a fault-free run)."""
+        return dict(self.fault_counts)
+
+    def lost_round_count(self) -> int:
+        """Rounds where every sampled upload failed (edge kept its model)."""
+        return sum(1 for r in self.degraded_rounds if r.lost_everyone)
+
+    def stale_sync_count(self) -> int:
+        """Sync steps where an edge exhausted its retries and the cloud
+        fell back to that edge's last successfully synced model."""
+        return sum(1 for r in self.sync_attempts if r.used_stale)
+
+    def simulated_backoff_seconds(self) -> float:
+        """Total simulated edge→cloud retry backoff across the run."""
+        return float(sum(r.backoff_seconds for r in self.sync_attempts))
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-compatible snapshot of the full telemetry stream."""
+        return {
+            "records": [asdict(r) for r in self.records],
+            "participation": {str(k): v for k, v in self._participation.items()},
+            "fault_counts": dict(self.fault_counts),
+            "degraded_rounds": [asdict(r) for r in self.degraded_rounds],
+            "sync_attempts": [asdict(r) for r in self.sync_attempts],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output, replacing current contents."""
+        self.records = [EdgeRoundRecord(**r) for r in state.get("records", [])]
+        self._participation = {
+            int(k): int(v) for k, v in state.get("participation", {}).items()
+        }
+        self.fault_counts = {
+            str(k): int(v) for k, v in state.get("fault_counts", {}).items()
+        }
+        self.degraded_rounds = [
+            DegradedRoundRecord(
+                t=r["t"],
+                edge=r["edge"],
+                num_sampled=r["num_sampled"],
+                failures={str(k): int(v) for k, v in r["failures"].items()},
+            )
+            for r in state.get("degraded_rounds", [])
+        ]
+        self.sync_attempts = [
+            SyncAttemptRecord(**r) for r in state.get("sync_attempts", [])
+        ]

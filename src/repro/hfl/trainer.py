@@ -23,16 +23,32 @@ Edges in a real deployment act concurrently and cannot observe each
 other's same-step feedback, so this is both the faithful reading of
 Algorithm 1 and what makes edge-level parallelism deterministic: for a
 fixed seed every executor backend produces bit-identical histories.
+
+Robustness (see :mod:`repro.faults` and DESIGN.md §8): when the config
+carries an active fault profile, the finish phase screens every sampled
+upload through the fault model — departures, stragglers and corrupted
+payloads are dropped, the Eq. (5) weights are renormalized over the
+survivors, a round that loses everyone keeps the edge's previous model,
+and failed devices feed :meth:`~repro.sampling.base.Sampler
+.observe_failure` so MACH's UCB learns reliability.  Edge→cloud sync
+failures are retried with bounded exponential backoff, falling back to
+the edge's last successfully synced model.  All fault draws come from
+named ``(step, edge, device)`` seed streams, so the executor-backend
+bit-identity contract holds under any profile, and
+checkpoint/resume (:class:`repro.faults.TrainerCheckpoint`) replays a
+killed run exactly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.data.dataset import Dataset
+from repro.faults import FaultModel, TrainerCheckpoint, make_fault_model
 from repro.hfl.cloud import Cloud
 from repro.hfl.config import HFLConfig
 from repro.hfl.device import Device, LocalUpdateResult
@@ -89,6 +105,12 @@ class HFLTrainer:
     and a ready :class:`~repro.runtime.Executor` instance is used as-is
     (the caller keeps ownership and must close it).  Executors the
     trainer builds itself are released by :meth:`close`.
+
+    ``fault_model`` injects failures: ``None`` derives a
+    :class:`~repro.faults.SeededFaultModel` from ``config.fault_profile``
+    (no model when the profile is absent or inactive); a ready
+    :class:`~repro.faults.FaultModel` instance is used as-is (tests
+    inject deterministic stubs this way).
     """
 
     def __init__(
@@ -101,6 +123,7 @@ class HFLTrainer:
         test_dataset: Dataset,
         telemetry: Optional["TelemetryRecorder"] = None,
         executor: Optional[Union[str, Executor]] = None,
+        fault_model: Optional[FaultModel] = None,
     ) -> None:
         if len(device_datasets) != trace.num_devices:
             raise ValueError(
@@ -134,6 +157,11 @@ class HFLTrainer:
         self.cloud.model = initial.copy()
         for edge in self.edges:
             edge.set_model(initial)
+        #: Per-edge fallback for edge→cloud sync failures: the last model
+        #: each edge successfully uploaded to the cloud.
+        self._last_synced: List[np.ndarray] = [
+            initial.copy() for _ in self.edges
+        ]
 
         profiles = [
             DeviceProfile(
@@ -144,6 +172,12 @@ class HFLTrainer:
             for m, ds in enumerate(device_datasets)
         ]
         self.sampler.setup(profiles, trace.num_edges)
+
+        if fault_model is None:
+            fault_model = make_fault_model(config.fault_profile)
+        self.fault_model: Optional[FaultModel] = fault_model
+        if self.fault_model is not None:
+            self.fault_model.bind(trace.num_devices, self._seeds)
 
         if executor is None:
             executor = config.executor
@@ -156,6 +190,12 @@ class HFLTrainer:
         self.executor.bind(
             WorkerContext(self.model, self.devices, config.seed)
         )
+
+        # Run-progress state, mutated by run() and snapshot by checkpoints.
+        self._history = TrainingHistory()
+        self._participation_counts = np.zeros(trace.num_devices, dtype=int)
+        self._total_participants = 0
+        self._reached_at: Optional[int] = None
 
     # ------------------------------------------------------------------
 
@@ -215,27 +255,83 @@ class HFLTrainer:
         )
         return _PendingRound(edge, members, probabilities, plan)
 
+    def _screen_uploads(
+        self,
+        t: int,
+        edge_id: int,
+        results: Dict[int, LocalUpdateResult],
+    ) -> "tuple[Dict[int, LocalUpdateResult], Dict[int, str]]":
+        """Pass every sampled upload through the fault model.
+
+        Returns the surviving results and the failures (device → fault
+        kind).  Mobility coupling: a device inside the edge at the plan
+        phase (step ``t``) but outside it by the finish phase (step
+        ``t + 1`` of the trace) may depart mid-round and lose its
+        upload.  Surviving payloads are additionally screened for
+        non-finite values — the receiver-side integrity check that keeps
+        a corrupted upload from ever reaching aggregation.
+        """
+        num_sampled = len(results)
+        next_members = set(
+            int(m) for m in self.trace.devices_at(t + 1, edge_id)
+        )
+        surviving: Dict[int, LocalUpdateResult] = {}
+        failures: Dict[int, str] = {}
+        for m in sorted(results):
+            result = results[m]
+            departed = m not in next_members
+            kind = self.fault_model.upload_fault(
+                t, edge_id, m, departed, num_sampled
+            )
+            if kind is not None:
+                failures[m] = kind
+                continue
+            corrupted = self.fault_model.corrupt_payload(
+                t, edge_id, m, result.final_model
+            )
+            if corrupted is not None:
+                result = replace(result, final_model=corrupted)
+            surviving[m] = result
+        for m in sorted(surviving):
+            if not np.all(np.isfinite(surviving[m].final_model)):
+                failures[m] = "corruption"
+                del surviving[m]
+        return surviving, failures
+
     def _finish_round(
         self,
         t: int,
         pending: _PendingRound,
         results: Dict[int, LocalUpdateResult],
     ) -> int:
-        """Finish phase for one edge round; returns the participant count."""
+        """Finish phase for one edge round; returns the survivor count."""
+        failures: Dict[int, str] = {}
+        num_sampled = len(results)
+        if self.fault_model is not None and results:
+            results, failures = self._screen_uploads(
+                t, pending.edge.edge_id, results
+            )
+
         for m in pending.members:
             result = results.get(int(m))
-            if result is None:
-                continue
-            self.sampler.observe_participation(
-                t, int(m), result.grad_sq_norms, result.mean_loss
-            )
-            self._participation_counts[m] += 1
+            if result is not None:
+                self.sampler.observe_participation(
+                    t, int(m), result.grad_sq_norms, result.mean_loss
+                )
+                self._participation_counts[m] += 1
+            elif int(m) in failures:
+                # Sampled but failed: reliability feedback, no experience.
+                self.sampler.observe_failure(t, int(m))
 
         pending.edge.aggregate(
             list(pending.members),
             pending.probabilities,
             results,
             mode=self.config.aggregation,
+            # A fault changed the realized participation away from the
+            # strategy's q: average over the survivors instead of
+            # trusting the now-miscalibrated IPW weights.
+            renormalize=bool(failures),
         )
         if self.telemetry is not None:
             participants = [int(m) for m in pending.members if int(m) in results]
@@ -248,6 +344,9 @@ class HFLTrainer:
                 [results[m].mean_grad_sq_norm for m in participants],
                 [results[m].mean_loss for m in participants],
             )
+            self.telemetry.record_faults(
+                t, pending.edge.edge_id, failures, num_sampled
+            )
         return len(results)
 
     def _train_step(self, t: int) -> int:
@@ -259,6 +358,47 @@ class HFLTrainer:
             self._finish_round(t, p, results)
             for p, results in zip(active, step_results)
         )
+
+    def _sync_to_cloud(self, t: int) -> None:
+        """Edge→cloud aggregation and broadcast (Algorithm 1 lines 12–13).
+
+        Under an active fault model each edge's upload may fail; the
+        trainer retries with bounded exponential backoff (simulated —
+        accounted in telemetry, never slept) and falls back to the
+        edge's last successfully synced model when the retry budget is
+        exhausted, so one flaky backhaul degrades the global model's
+        freshness instead of killing the round.
+        """
+        counts = np.array(
+            [
+                self.trace.devices_at(t, n).size
+                for n in range(self.trace.num_edges)
+            ]
+        )
+        if self.fault_model is None:
+            self.cloud.aggregate(self.edges, counts)
+        else:
+            uploads: List[np.ndarray] = []
+            for n, edge in enumerate(self.edges):
+                outcome = self.fault_model.sync_outcome(t, n)
+                if outcome.success:
+                    self._last_synced[n] = edge.model.copy()
+                    uploads.append(edge.model)
+                else:
+                    uploads.append(self._last_synced[n])
+                if self.telemetry is not None and (
+                    outcome.failed_attempts > 0 or not outcome.success
+                ):
+                    self.telemetry.record_sync_attempt(
+                        t,
+                        n,
+                        outcome.failed_attempts,
+                        used_stale=not outcome.success,
+                        backoff_seconds=outcome.backoff_seconds,
+                    )
+            self.cloud.aggregate_models(uploads, counts)
+        self.cloud.broadcast(self.edges)
+        self.sampler.on_global_sync(t)
 
     def _virtual_global(self, t: int) -> np.ndarray:
         """Member-count-weighted average of edge models (equals the cloud
@@ -274,11 +414,95 @@ class HFLTrainer:
                 aggregate += (count / total) * edge.model
         return aggregate
 
+    # -- checkpointing -------------------------------------------------------
+
+    def make_checkpoint(self, steps_completed: int) -> TrainerCheckpoint:
+        """Snapshot the full mutable run state after ``steps_completed``."""
+        return TrainerCheckpoint(
+            step=steps_completed,
+            master_seed=self.config.seed,
+            sampler_name=self.sampler.name,
+            edge_models=[edge.model.copy() for edge in self.edges],
+            cloud_model=self.cloud.model.copy(),
+            last_synced_edge_models=[m.copy() for m in self._last_synced],
+            sampler_state=self.sampler.state_dict(),
+            history_steps=list(self._history.steps),
+            history_accuracy=list(self._history.accuracy),
+            history_loss=list(self._history.loss),
+            participation_counts=self._participation_counts.copy(),
+            total_participants=self._total_participants,
+            reached_target_at=self._reached_at,
+            telemetry_state=(
+                self.telemetry.state_dict() if self.telemetry is not None else None
+            ),
+        )
+
+    def restore_checkpoint(
+        self, checkpoint: Union[TrainerCheckpoint, str, Path]
+    ) -> int:
+        """Load a checkpoint into the trainer; returns the resume step.
+
+        The engine's randomness is derived per ``(step, edge, device)``
+        from the master seed — there are no stateful RNG cursors — so
+        restoring the snapshot and continuing at the returned step
+        replays exactly what an uninterrupted run would have produced.
+        """
+        if not isinstance(checkpoint, TrainerCheckpoint):
+            checkpoint = TrainerCheckpoint.load(checkpoint)
+        if checkpoint.master_seed != self.config.seed:
+            raise ValueError(
+                f"checkpoint was written with seed {checkpoint.master_seed}, "
+                f"trainer has seed {self.config.seed}"
+            )
+        if checkpoint.sampler_name != self.sampler.name:
+            raise ValueError(
+                f"checkpoint was written with sampler "
+                f"{checkpoint.sampler_name!r}, trainer has {self.sampler.name!r}"
+            )
+        if len(checkpoint.edge_models) != len(self.edges):
+            raise ValueError(
+                f"checkpoint has {len(checkpoint.edge_models)} edges, "
+                f"trainer has {len(self.edges)}"
+            )
+        for edge, model in zip(self.edges, checkpoint.edge_models):
+            edge.set_model(model)
+        self.cloud.model = checkpoint.cloud_model.copy()
+        self._last_synced = [m.copy() for m in checkpoint.last_synced_edge_models]
+        self.sampler.load_state_dict(checkpoint.sampler_state)
+        if self.telemetry is not None and checkpoint.telemetry_state is not None:
+            self.telemetry.load_state_dict(checkpoint.telemetry_state)
+        self._history = TrainingHistory(
+            steps=list(checkpoint.history_steps),
+            accuracy=list(checkpoint.history_accuracy),
+            loss=list(checkpoint.history_loss),
+        )
+        if checkpoint.participation_counts.size:
+            if checkpoint.participation_counts.shape != (self.trace.num_devices,):
+                raise ValueError(
+                    "checkpoint participation counts do not match the device "
+                    "population"
+                )
+            self._participation_counts = checkpoint.participation_counts.copy()
+        else:
+            self._participation_counts = np.zeros(self.trace.num_devices, dtype=int)
+        self._total_participants = checkpoint.total_participants
+        self._reached_at = checkpoint.reached_target_at
+        return checkpoint.step
+
+    def _maybe_write_checkpoint(self, steps_completed: int) -> None:
+        every = self.config.checkpoint_every
+        if every is None or steps_completed % every != 0:
+            return
+        self.make_checkpoint(steps_completed).save(self.config.checkpoint_path)
+
+    # ------------------------------------------------------------------
+
     def run(
         self,
         num_steps: int,
         target_accuracy: Optional[float] = None,
         stop_at_target: bool = False,
+        resume_from: Optional[Union[TrainerCheckpoint, str, Path]] = None,
     ) -> TrainingResult:
         """Execute ``num_steps`` time steps of Algorithm 1.
 
@@ -286,29 +510,34 @@ class HFLTrainer:
         reached at an evaluation point, training stops early — the
         time-to-accuracy experiments use this to avoid paying for the
         full horizon on fast samplers.
+
+        ``resume_from`` (a :class:`~repro.faults.TrainerCheckpoint` or a
+        path to one) continues a killed run from its snapshot; the
+        resumed run's history is bit-identical to an uninterrupted one.
         """
         if num_steps <= 0:
             raise ValueError(f"num_steps must be positive, got {num_steps}")
-        history = TrainingHistory()
+        self._history = TrainingHistory()
         self._participation_counts = np.zeros(self.trace.num_devices, dtype=int)
-        total_participants = 0
-        reached_at: Optional[int] = None
+        self._total_participants = 0
+        self._reached_at = None
+        start_step = 0
+        if resume_from is not None:
+            start_step = self.restore_checkpoint(resume_from)
+            if start_step >= num_steps:
+                raise ValueError(
+                    f"checkpoint is at step {start_step}, nothing left of a "
+                    f"{num_steps}-step run"
+                )
+        history = self._history
         eval_interval = self.config.effective_eval_interval
 
-        steps_run = 0
-        for t in range(num_steps):
-            total_participants += self._train_step(t)
+        steps_run = start_step
+        for t in range(start_step, num_steps):
+            self._total_participants += self._train_step(t)
 
             if t % self.config.sync_interval == 0:
-                counts = np.array(
-                    [
-                        self.trace.devices_at(t, n).size
-                        for n in range(self.trace.num_edges)
-                    ]
-                )
-                self.cloud.aggregate(self.edges, counts)
-                self.cloud.broadcast(self.edges)
-                self.sampler.on_global_sync(t)
+                self._sync_to_cloud(t)
 
             steps_run = t + 1
             if steps_run % eval_interval == 0 or steps_run == num_steps:
@@ -318,18 +547,20 @@ class HFLTrainer:
                 history.record(steps_run, accuracy, loss)
                 if (
                     target_accuracy is not None
-                    and reached_at is None
+                    and self._reached_at is None
                     and accuracy >= target_accuracy
                 ):
-                    reached_at = steps_run
+                    self._reached_at = steps_run
                     if stop_at_target:
+                        self._maybe_write_checkpoint(steps_run)
                         break
+            self._maybe_write_checkpoint(steps_run)
 
         return TrainingResult(
             sampler_name=self.sampler.name,
             history=history,
             steps_run=steps_run,
             participation_counts=self._participation_counts.copy(),
-            mean_participants_per_step=total_participants / steps_run,
-            reached_target_at=reached_at,
+            mean_participants_per_step=self._total_participants / steps_run,
+            reached_target_at=self._reached_at,
         )

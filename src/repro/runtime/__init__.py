@@ -22,6 +22,7 @@ or, equivalently, via configuration::
 from repro.runtime.base import (
     EXECUTOR_KINDS,
     Executor,
+    WorkerError,
     make_executor,
     resolve_num_workers,
 )
@@ -38,6 +39,7 @@ from repro.runtime.processes import ProcessExecutor
 __all__ = [
     "EXECUTOR_KINDS",
     "Executor",
+    "WorkerError",
     "make_executor",
     "resolve_num_workers",
     "EdgeRoundPlan",

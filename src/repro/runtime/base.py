@@ -31,6 +31,25 @@ from repro.runtime.work_items import EdgeRoundPlan, RoundResults, WorkerContext
 EXECUTOR_KINDS = ("serial", "thread", "process")
 
 
+class WorkerError(RuntimeError):
+    """A pooled worker failed while running one edge round's items.
+
+    Carries the ``(step, edge)`` coordinates of the failing plan so the
+    caller can tell *which* round died, and chains the original worker
+    exception as ``__cause__``.  Pooled backends shut down and recycle
+    their pool before raising, so the executor stays usable for the
+    next step.
+    """
+
+    def __init__(self, step: int, edge: int, cause: BaseException) -> None:
+        super().__init__(
+            f"worker failed running step {step}, edge {edge}: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.step = step
+        self.edge = edge
+
+
 class Executor(ABC):
     """Runs the local-update work of HFL time steps.
 

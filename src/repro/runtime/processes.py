@@ -27,7 +27,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.hfl.device import LocalUpdateResult
-from repro.runtime.base import Executor, resolve_num_workers
+from repro.runtime.base import Executor, WorkerError, resolve_num_workers
 from repro.runtime.work_items import (
     EdgeRoundPlan,
     LocalUpdateItem,
@@ -112,7 +112,19 @@ class ProcessExecutor(Executor):
                 )
         results: List[RoundResults] = [{} for _ in plans]
         for index, future in pending:
-            for device_id, result in future.result():
+            try:
+                chunk_results = future.result()
+            except Exception as exc:
+                # A worker raised (or the pool broke, orphaning every
+                # future).  Cancel what has not started, tear the pool
+                # down and recycle it so the *next* step gets a fresh
+                # pool instead of hanging on dead processes.
+                for _index, other in pending:
+                    other.cancel()
+                self._shutdown_pool()
+                plan = plans[index]
+                raise WorkerError(plan.step, plan.edge, exc) from exc
+            for device_id, result in chunk_results:
                 results[index][device_id] = result
         return results
 

@@ -37,11 +37,18 @@ class Sampler(ABC):
        draws Bernoulli participation from the returned ``q`` vector;
     3. after each participating device finishes local updating:
        :meth:`observe_participation` with its per-local-step squared
-       gradient norms (the training experience of Eq. (14));
+       gradient norms (the training experience of Eq. (14)); a device
+       that was sampled but whose upload was lost to a fault instead
+       triggers :meth:`observe_failure`;
     4. samplers with ``requires_oracle = True`` additionally receive
        :meth:`observe_oracle` for *every* device in the edge each step
        (the MACH-P "experiences known at every step" assumption);
     5. at every edge-to-cloud communication step: :meth:`on_global_sync`.
+
+    Checkpointing: samplers that learn across steps expose their mutable
+    state through :meth:`state_dict` / :meth:`load_state_dict` (JSON-
+    compatible dicts) so a killed run can resume bit-identically.
+    Stateless samplers inherit the empty-dict defaults.
     """
 
     #: Human-readable identifier used in experiment reports.
@@ -73,8 +80,28 @@ class Sampler(ABC):
     ) -> None:
         """Feedback after a sampled device completed its I local updates."""
 
+    def observe_failure(self, t: int, device: int) -> None:
+        """Feedback when a sampled device's upload was lost to a fault.
+
+        The device consumed a sampling slot but contributed no gradient
+        experience; reliability-aware samplers (MACH) use this to learn
+        which devices fail.  Default: ignore.
+        """
+
     def observe_oracle(self, t: int, device: int, grad_sq_norm: float) -> None:
         """Oracle feedback (only called when ``requires_oracle``)."""
 
     def on_global_sync(self, t: int) -> None:
         """Called at every edge-to-cloud communication step (t mod Tg == 0)."""
+
+    def state_dict(self) -> dict:
+        """JSON-compatible snapshot of the mutable learned state."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (after :meth:`setup`)."""
+        if state:
+            raise ValueError(
+                f"sampler {self.name!r} keeps no state but was given "
+                f"keys {sorted(state)}"
+            )

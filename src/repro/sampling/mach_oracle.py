@@ -50,3 +50,13 @@ class MACHOracleSampler(Sampler):
             raise RuntimeError("setup() must be called before probabilities()")
         estimates = self._true_g_sq[np.asarray(device_indices, dtype=int)]
         return edge_strategy(estimates, capacity, self.config, t=t)
+
+    def state_dict(self) -> dict:
+        if self._true_g_sq is None:
+            return {}
+        return {"true_g_sq": self._true_g_sq.tolist()}
+
+    def load_state_dict(self, state: dict) -> None:
+        if self._true_g_sq is None:
+            raise RuntimeError("setup() must be called before restoring state")
+        self._true_g_sq = np.asarray(state["true_g_sq"], dtype=float)

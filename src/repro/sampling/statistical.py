@@ -80,3 +80,17 @@ class StatisticalSampler(Sampler):
         else:
             self._utility[device] = utility
             self._seen[device] = True
+
+    def state_dict(self) -> dict:
+        if self._utility is None:
+            return {}
+        return {
+            "utility": self._utility.tolist(),
+            "seen": self._seen.tolist(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if self._utility is None:
+            raise RuntimeError("setup() must be called before restoring state")
+        self._utility = np.asarray(state["utility"], dtype=float)
+        self._seen = np.asarray(state["seen"], dtype=bool)

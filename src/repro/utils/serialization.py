@@ -14,8 +14,11 @@ from typing import Any, Dict, Union
 
 import numpy as np
 
-from repro.hfl.metrics import TrainingHistory
-from repro.hfl.trainer import TrainingResult
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # deferred at runtime: repro.hfl.trainer imports
+    # repro.faults, which serializes through this module.
+    from repro.hfl.trainer import TrainingResult
 
 
 def _coerce(value: Any) -> Any:
@@ -31,6 +34,63 @@ def _coerce(value: Any) -> Any:
     if isinstance(value, (list, tuple)):
         return [_coerce(v) for v in value]
     return value
+
+
+#: Tag key marking an ndarray in :func:`to_jsonable` output.
+_NDARRAY_TAG = "__ndarray__"
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively encode ``value`` for exact JSON round-tripping.
+
+    Unlike :func:`_coerce` (lossy ``tolist`` for report files), arrays
+    are tagged with their dtype so :func:`from_jsonable` rebuilds them
+    bit-identically — ``repr``-based JSON floats round-trip float64
+    exactly.  Used by checkpointing, where exactness is the contract.
+    """
+    if isinstance(value, np.ndarray):
+        return {_NDARRAY_TAG: {"dtype": str(value.dtype), "data": value.tolist()}}
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot encode {type(value).__name__} for JSON")
+
+
+def from_jsonable(value: Any) -> Any:
+    """Inverse of :func:`to_jsonable` (tagged arrays become ndarrays)."""
+    if isinstance(value, dict):
+        if set(value) == {_NDARRAY_TAG}:
+            spec = value[_NDARRAY_TAG]
+            return np.array(spec["data"], dtype=np.dtype(spec["dtype"]))
+        return {k: from_jsonable(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [from_jsonable(v) for v in value]
+    return value
+
+
+def save_json(payload: Any, path: Union[str, Path]) -> Path:
+    """Write ``payload`` (already jsonable) to ``path``, creating parents."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_json(path: Union[str, Path]) -> Any:
+    """Read a JSON file written by :func:`save_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no JSON file at {path}")
+    return json.loads(path.read_text())
 
 
 def training_result_to_dict(result: TrainingResult) -> Dict[str, Any]:
@@ -52,8 +112,11 @@ def training_result_to_dict(result: TrainingResult) -> Dict[str, Any]:
     )
 
 
-def training_result_from_dict(payload: Dict[str, Any]) -> TrainingResult:
+def training_result_from_dict(payload: Dict[str, Any]) -> "TrainingResult":
     """Rebuild a TrainingResult from :func:`training_result_to_dict` output."""
+    from repro.hfl.metrics import TrainingHistory
+    from repro.hfl.trainer import TrainingResult
+
     required = {"sampler_name", "steps_run", "history", "participation_counts"}
     missing = required - set(payload)
     if missing:

@@ -55,6 +55,25 @@ def check_shape(name: str, array: np.ndarray, shape: Tuple[int, ...]) -> np.ndar
     return array
 
 
+def check_finite(name: str, array: np.ndarray) -> np.ndarray:
+    """Validate that every entry of ``array`` is finite (no NaN/Inf).
+
+    Aggregation guards call this on every freshly aggregated flat model:
+    a single non-finite device update would otherwise poison the edge —
+    and, after the next sync, the global — model silently and forever.
+    """
+    array = np.asarray(array)
+    if not np.all(np.isfinite(array)):
+        finite = np.isfinite(array)
+        bad = int(array.size - np.count_nonzero(finite))
+        first = int(np.flatnonzero(~finite.ravel())[0])
+        raise ValueError(
+            f"{name} contains {bad} non-finite value(s) (NaN/Inf), "
+            f"first at flat index {first}"
+        )
+    return array
+
+
 def check_membership(name: str, value, allowed: Sequence) -> object:
     """Validate that ``value`` is one of ``allowed``."""
     if value not in allowed:

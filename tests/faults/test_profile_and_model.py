@@ -1,0 +1,203 @@
+"""Tests for repro.faults: profiles, presets, and the seeded fault model."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    FAULT_PRESETS,
+    FaultProfile,
+    SeededFaultModel,
+    make_fault_model,
+    resolve_fault_profile,
+)
+from repro.utils.rng import SeedSequenceFactory
+
+
+class TestFaultProfile:
+    def test_default_is_inactive(self):
+        assert not FaultProfile().active
+        assert make_fault_model(FaultProfile()) is None
+        assert make_fault_model(None) is None
+
+    def test_any_rate_activates(self):
+        assert FaultProfile(dropout_rate=0.1).active
+        assert FaultProfile(mobility_departure_rate=0.1).active
+        assert FaultProfile(straggler_deadline_seconds=1.0).active
+        assert FaultProfile(corruption_rate=0.1).active
+        assert FaultProfile(sync_failure_rate=0.1).active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dropout_rate": 1.5},
+            {"corruption_rate": -0.1},
+            {"sync_failure_rate": 2.0},
+            {"straggler_deadline_seconds": 0.0},
+            {"straggler_jitter_sigma": -1.0},
+            {"max_sync_retries": -1},
+            {"backoff_base_seconds": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultProfile(**kwargs)
+
+    def test_backoff_is_bounded_exponential(self):
+        profile = FaultProfile(
+            backoff_base_seconds=1.0, backoff_cap_seconds=4.0
+        )
+        assert profile.backoff_seconds(0) == 0.0
+        assert profile.backoff_seconds(1) == 1.0
+        assert profile.backoff_seconds(2) == 3.0  # 1 + 2
+        assert profile.backoff_seconds(4) == 11.0  # 1 + 2 + 4 + 4 (capped)
+        with pytest.raises(ValueError):
+            profile.backoff_seconds(-1)
+
+    def test_presets_cover_every_kind(self):
+        severe = FAULT_PRESETS["severe"]
+        assert severe.dropout_rate > 0
+        assert severe.mobility_departure_rate > 0
+        assert severe.straggler_deadline_seconds is not None
+        assert severe.corruption_rate > 0
+        assert severe.sync_failure_rate > 0
+        assert not FAULT_PRESETS["none"].active
+
+
+class TestResolveFaultProfile:
+    def test_none_and_instance_pass_through(self):
+        assert resolve_fault_profile(None) is None
+        profile = FaultProfile(dropout_rate=0.2)
+        assert resolve_fault_profile(profile) is profile
+
+    def test_preset_name(self):
+        assert resolve_fault_profile("mild") == FAULT_PRESETS["mild"]
+
+    def test_key_value_pairs(self):
+        profile = resolve_fault_profile("dropout=0.2,corruption=0.05")
+        assert profile.dropout_rate == 0.2
+        assert profile.corruption_rate == 0.05
+        assert profile.sync_failure_rate == 0.0
+
+    def test_preset_with_overrides(self):
+        profile = resolve_fault_profile("severe,deadline=9.5,max_sync_retries=7")
+        assert profile.dropout_rate == FAULT_PRESETS["severe"].dropout_rate
+        assert profile.straggler_deadline_seconds == 9.5
+        assert profile.max_sync_retries == 7
+
+    def test_rejects_unknown_preset_and_key(self):
+        with pytest.raises(ValueError, match="unknown fault preset"):
+            resolve_fault_profile("catastrophic")
+        with pytest.raises(ValueError, match="unknown fault spec key"):
+            resolve_fault_profile("meteor=1.0")
+        with pytest.raises(ValueError, match="preset name must come first"):
+            resolve_fault_profile("dropout=0.1,mild")
+        with pytest.raises(TypeError):
+            resolve_fault_profile(42)
+
+
+def bound_model(profile, num_devices=8, seed=0):
+    model = SeededFaultModel(profile)
+    model.bind(num_devices, SeedSequenceFactory(seed))
+    return model
+
+
+class TestSeededFaultModel:
+    def test_requires_bind(self):
+        model = SeededFaultModel(FaultProfile(dropout_rate=1.0))
+        with pytest.raises(RuntimeError, match="bind"):
+            model.upload_fault(0, 0, 0, False, 1)
+
+    def test_rejects_non_profile(self):
+        with pytest.raises(TypeError):
+            SeededFaultModel({"dropout_rate": 1.0})
+
+    def test_draws_are_reproducible_and_order_free(self):
+        """The same (step, edge, device) coordinates give the same
+        decision regardless of query order — the determinism contract."""
+        profile = FaultProfile(dropout_rate=0.5, mobility_departure_rate=0.5)
+        a = bound_model(profile)
+        b = bound_model(profile)
+        coords = [(t, e, m) for t in range(4) for e in range(2) for m in range(4)]
+        forward = [a.upload_fault(t, e, m, m % 2 == 0, 3) for t, e, m in coords]
+        backward = [
+            b.upload_fault(t, e, m, m % 2 == 0, 3) for t, e, m in reversed(coords)
+        ]
+        assert forward == list(reversed(backward))
+
+    def test_seed_changes_decisions(self):
+        profile = FaultProfile(dropout_rate=0.5)
+        a, b = bound_model(profile, seed=0), bound_model(profile, seed=99)
+        coords = [(t, 0, m) for t in range(10) for m in range(8)]
+        assert [a.upload_fault(*c, False, 1) for c in coords] != [
+            b.upload_fault(*c, False, 1) for c in coords
+        ]
+
+    def test_certain_mobility_departure(self):
+        model = bound_model(FaultProfile(mobility_departure_rate=1.0))
+        assert model.upload_fault(0, 0, 0, True, 1) == "departure"
+        assert model.upload_fault(0, 0, 0, False, 1) is None
+
+    def test_straggler_respects_deadline(self):
+        generous = bound_model(
+            FaultProfile(
+                straggler_deadline_seconds=1e6, straggler_jitter_sigma=0.0
+            )
+        )
+        assert all(
+            generous.upload_fault(0, 0, m, False, 4) is None for m in range(8)
+        )
+        impossible = bound_model(
+            FaultProfile(
+                straggler_deadline_seconds=1e-9, straggler_jitter_sigma=0.0
+            )
+        )
+        assert all(
+            impossible.upload_fault(0, 0, m, False, 4) == "straggler"
+            for m in range(8)
+        )
+
+    def test_corruption_injects_non_finite(self):
+        model = bound_model(FaultProfile(corruption_rate=1.0))
+        payload = np.zeros(64)
+        corrupted = model.corrupt_payload(0, 0, 0, payload)
+        assert corrupted is not None
+        assert not np.all(np.isfinite(corrupted))
+        # The original payload is never mutated in place.
+        assert np.all(np.isfinite(payload))
+
+    def test_no_corruption_at_zero_rate(self):
+        model = bound_model(FaultProfile(dropout_rate=0.5))
+        assert model.corrupt_payload(0, 0, 0, np.zeros(8)) is None
+
+    def test_sync_outcome_contract(self):
+        never = bound_model(FaultProfile(dropout_rate=0.5))
+        outcome = never.sync_outcome(0, 0)
+        assert outcome.success and outcome.failed_attempts == 0
+
+        always = bound_model(
+            FaultProfile(sync_failure_rate=1.0, max_sync_retries=2)
+        )
+        outcome = always.sync_outcome(0, 0)
+        assert not outcome.success
+        assert outcome.failed_attempts == 3  # initial attempt + 2 retries
+        assert outcome.backoff_seconds > 0
+
+    def test_sync_outcome_reproducible(self):
+        profile = FaultProfile(sync_failure_rate=0.5, max_sync_retries=3)
+        a, b = bound_model(profile), bound_model(profile)
+        assert [a.sync_outcome(t, 0) for t in range(20)] == [
+            b.sync_outcome(t, 0) for t in range(20)
+        ]
+
+    def test_fault_kinds_are_canonical(self):
+        model = bound_model(
+            FaultProfile(
+                dropout_rate=1.0,
+                mobility_departure_rate=1.0,
+                straggler_deadline_seconds=1e-9,
+                straggler_jitter_sigma=0.0,
+            )
+        )
+        kind = model.upload_fault(0, 0, 0, True, 1)
+        assert kind in FAULT_KINDS

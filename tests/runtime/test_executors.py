@@ -14,6 +14,7 @@ from repro.runtime import (
     SerialExecutor,
     ThreadExecutor,
     WorkerContext,
+    WorkerError,
     make_executor,
     resolve_num_workers,
 )
@@ -158,6 +159,63 @@ class TestBackendEquivalence:
         assert not np.array_equal(
             first[0][device_id].final_model, second[0][device_id].final_model
         )
+
+
+class TestWorkerFailure:
+    """A crashing pooled worker surfaces (step, edge) context and the
+    pool recycles instead of hanging on dead processes."""
+
+    def bad_plan(self, model, step=7, edge=1):
+        # device_id 999 does not exist in the context: the worker raises.
+        item = LocalUpdateItem(
+            step=step, edge=edge, device_id=999,
+            local_epochs=2, learning_rate=0.05, batch_size=4,
+        )
+        return EdgeRoundPlan(
+            step=step, edge=edge, start_model=model.get_flat(), items=(item,)
+        )
+
+    def test_process_failure_carries_plan_coordinates(self):
+        context, model = make_context()
+        with ProcessExecutor(num_workers=2) as executor:
+            executor.bind(context)
+            with pytest.raises(WorkerError, match="step 7, edge 1") as excinfo:
+                executor.run_step([self.bad_plan(model)])
+            assert excinfo.value.step == 7
+            assert excinfo.value.edge == 1
+            assert excinfo.value.__cause__ is not None
+
+    def test_process_pool_recycles_after_failure(self):
+        context, model = make_context()
+        with ProcessExecutor(num_workers=2) as executor:
+            executor.bind(context)
+            with pytest.raises(WorkerError):
+                executor.run_step([make_plans(model)[0], self.bad_plan(model)])
+            # The broken pool was torn down; the next step gets a fresh
+            # one and runs clean.
+            results = executor.run_step(make_plans(model, step=1))
+            assert all(results)
+
+    def test_failure_matches_healthy_round_results(self):
+        """A failed step does not poison determinism: after recovery the
+        executor reproduces exactly what an unfailed executor computes."""
+        context, model = make_context()
+        plans = make_plans(model, step=2)
+        with ProcessExecutor(num_workers=2) as clean:
+            clean.bind(context.clone())
+            expected = clean.run_step(plans)
+        with ProcessExecutor(num_workers=2) as failed_once:
+            failed_once.bind(context.clone())
+            with pytest.raises(WorkerError):
+                failed_once.run_step([self.bad_plan(model)])
+            recovered = failed_once.run_step(plans)
+        for expect_round, got_round in zip(expected, recovered):
+            assert expect_round.keys() == got_round.keys()
+            for device_id in expect_round:
+                np.testing.assert_array_equal(
+                    expect_round[device_id].final_model,
+                    got_round[device_id].final_model,
+                )
 
 
 class TestLifecycle:

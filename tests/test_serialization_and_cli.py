@@ -12,14 +12,18 @@ from repro.nn.architectures import build_mlp
 from repro.nn.layers import Dense
 from repro.nn.optim import SGD, Adam
 from repro.utils.serialization import (
+    from_jsonable,
+    load_json,
     load_training_result,
+    save_json,
     save_training_result,
+    to_jsonable,
     training_result_from_dict,
     training_result_to_dict,
 )
 
 
-def make_result():
+def make_result(reached_target_at=10, diagnostics=None):
     history = TrainingHistory()
     history.record(5, 0.4, 1.2)
     history.record(10, 0.7, 0.8)
@@ -29,8 +33,8 @@ def make_result():
         steps_run=10,
         participation_counts=np.array([3, 1, 2]),
         mean_participants_per_step=2.0,
-        reached_target_at=10,
-        diagnostics={"spread": 1.5},
+        reached_target_at=reached_target_at,
+        diagnostics={"spread": 1.5} if diagnostics is None else diagnostics,
     )
 
 
@@ -62,6 +66,85 @@ class TestSerialization:
     def test_missing_keys_rejected(self):
         with pytest.raises(ValueError, match="missing keys"):
             training_result_from_dict({"sampler_name": "x"})
+
+    def test_none_reached_target_round_trips(self, tmp_path):
+        """A run that never hit its accuracy target keeps the None."""
+        result = make_result(reached_target_at=None)
+        rebuilt = training_result_from_dict(training_result_to_dict(result))
+        assert rebuilt.reached_target_at is None
+        path = save_training_result(result, tmp_path / "run.json")
+        assert load_training_result(path).reached_target_at is None
+
+    def test_rich_diagnostics_round_trip(self, tmp_path):
+        """Non-empty diagnostics with numpy scalars survive the file."""
+        result = make_result(
+            diagnostics={
+                "spread": np.float64(2.5),
+                "hard_exclusions": np.int64(3),
+                "edge_load": 4.25,
+            }
+        )
+        path = save_training_result(result, tmp_path / "run.json")
+        loaded = load_training_result(path)
+        assert loaded.diagnostics == {
+            "spread": 2.5,
+            "hard_exclusions": 3,
+            "edge_load": 4.25,
+        }
+        # Everything came back as plain Python types, not numpy.
+        assert all(
+            type(v) in (int, float) for v in loaded.diagnostics.values()
+        )
+
+
+class TestTaggedJson:
+    """to_jsonable/from_jsonable: the exact (checkpoint-grade) codec."""
+
+    def test_ndarray_round_trip_is_bit_exact(self):
+        arrays = [
+            np.array([0.1, 1 / 3, np.pi, -1e-300, 1e300]),
+            np.arange(6, dtype=np.int64).reshape(2, 3),
+            np.array([], dtype=float),
+            np.array([True, False]),
+        ]
+        for original in arrays:
+            via_json = json.loads(json.dumps(to_jsonable(original)))
+            rebuilt = from_jsonable(via_json)
+            assert rebuilt.dtype == original.dtype
+            np.testing.assert_array_equal(rebuilt, original)
+
+    def test_nested_structures(self):
+        payload = {
+            "models": [np.ones(3), np.zeros(2)],
+            "meta": {"count": np.int64(7), "flag": np.bool_(True)},
+            "scalar": np.float64(0.25),
+            "none": None,
+        }
+        decoded = from_jsonable(json.loads(json.dumps(to_jsonable(payload))))
+        np.testing.assert_array_equal(decoded["models"][0], np.ones(3))
+        np.testing.assert_array_equal(decoded["models"][1], np.zeros(2))
+        assert decoded["meta"] == {"count": 7, "flag": True}
+        assert decoded["scalar"] == 0.25
+        assert decoded["none"] is None
+
+    def test_infinities_survive(self):
+        """MACH UCB estimates can be inf; the codec must keep them."""
+        decoded = from_jsonable(
+            json.loads(json.dumps(to_jsonable({"e": float("inf")})))
+        )
+        assert decoded["e"] == float("inf")
+
+    def test_unknown_types_rejected(self):
+        with pytest.raises(TypeError, match="cannot encode"):
+            to_jsonable({"bad": object()})
+
+    def test_save_load_json(self, tmp_path):
+        path = save_json(to_jsonable({"xs": np.array([1.5, 2.5])}),
+                         tmp_path / "sub" / "x.json")
+        decoded = from_jsonable(load_json(path))
+        np.testing.assert_array_equal(decoded["xs"], [1.5, 2.5])
+        with pytest.raises(FileNotFoundError):
+            load_json(tmp_path / "missing.json")
 
 
 class TestAdam:

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.utils.probability import capped_proportional_probabilities
 from repro.utils.rng import SeedSequenceFactory, as_generator
 from repro.utils.validation import (
+    check_finite,
     check_fraction,
     check_membership,
     check_positive,
@@ -143,6 +144,25 @@ class TestValidation:
         assert check_membership("m", "a", ("a", "b")) == "a"
         with pytest.raises(ValueError, match="one of"):
             check_membership("m", "c", ("a", "b"))
+
+    def test_check_finite_passes_clean_arrays(self):
+        clean = np.array([0.0, -1.5, 1e300])
+        out = check_finite("model", clean)
+        np.testing.assert_array_equal(out, clean)
+        # Lists are coerced, like the other validators.
+        np.testing.assert_array_equal(check_finite("xs", [1.0, 2.0]), [1.0, 2.0])
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_check_finite_rejects_non_finite(self, bad):
+        array = np.zeros(5)
+        array[3] = bad
+        with pytest.raises(ValueError, match="model.*non-finite.*index 3"):
+            check_finite("model", array)
+
+    def test_check_finite_counts_and_locates(self):
+        array = np.array([[np.nan, 1.0], [np.inf, 2.0]])
+        with pytest.raises(ValueError, match="2 non-finite.*index 0"):
+            check_finite("agg", array)
 
 
 class TestCappedProportionalProbabilities:
