@@ -1,0 +1,241 @@
+"""Hot-path overhaul benchmark: reference vs optimized engine paths.
+
+The perf pass (DESIGN.md §9) keeps the pre-optimization implementation
+of every hot path alive behind :mod:`repro.hotpath`; this benchmark
+runs the same fixed-seed workload down both paths and reports
+
+- per-phase wall time (plan / execute / finish / sync / eval) from the
+  :class:`~repro.hfl.telemetry.TelemetryRecorder` phase accounting,
+- end-to-end serial seconds and the speedup optimized/reference,
+- whether the two histories are **bit-identical** (they must be — a
+  speedup bought with a different answer is a bug, not a win).
+
+Standalone (records the committed baseline)::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py \
+        --json benchmarks/results/BENCH_hotpath.json
+
+CI smoke mode (cheap, asserts the bit-identity contract end to end)::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke
+
+which checks that (1) the optimized path reproduces the reference
+history exactly on all three executor backends, and (2) the existing
+checkpoint kill/resume determinism contract still holds on the
+optimized path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.experiments.config import PRESETS
+from repro.experiments.runner import run_single
+from repro.hfl.telemetry import TelemetryRecorder
+from repro.hfl.trainer import TrainingResult
+from repro.hotpath import hotpath_disabled
+
+#: The two timed workloads: the conv one exercises the im2col/col2im
+#: workspaces, the dense one the membership index / fused eval / flat
+#: buffer reuse in (nearly) isolation.
+WORKLOADS = ("cnn", "mlp")
+
+
+def workload_config(args, workload: str):
+    if workload == "cnn":
+        return PRESETS["mnist-bench"].with_overrides(
+            num_devices=args.devices,
+            num_edges=args.edges,
+            num_steps=args.steps,
+            samples_per_device=30,
+            test_samples=200,
+            trace_kind="markov",
+            seed=args.seed,
+        )
+    return PRESETS["blobs-bench"].with_overrides(
+        num_devices=4 * args.devices,
+        num_edges=args.edges,
+        num_steps=2 * args.steps,
+        trace_kind="markov",
+        seed=args.seed,
+    )
+
+
+def identical(a: TrainingResult, b: TrainingResult) -> bool:
+    return (
+        a.history.steps == b.history.steps
+        and a.history.accuracy == b.history.accuracy
+        and a.history.loss == b.history.loss
+        and np.array_equal(a.participation_counts, b.participation_counts)
+    )
+
+
+def timed_run(config, sampler: str, repeats: int):
+    """Best-of-``repeats`` timed run; returns (seconds, result, phases)."""
+    best = None
+    for _ in range(repeats):
+        telemetry = TelemetryRecorder()
+        start = time.perf_counter()
+        result = run_single(config, sampler, telemetry=telemetry)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[0]:
+            best = (elapsed, result, telemetry.phase_summary())
+    return best
+
+
+def print_phase_table(reference: Dict, optimized: Dict) -> None:
+    phases = sorted(set(reference) | set(optimized))
+    print(f"{'phase':<10}{'reference s':>13}{'optimized s':>13}{'speedup':>9}")
+    for phase in phases:
+        ref_s = reference.get(phase, {}).get("seconds", 0.0)
+        opt_s = optimized.get(phase, {}).get("seconds", 0.0)
+        ratio = f"{ref_s / opt_s:>9.2f}" if opt_s > 0 else f"{'-':>9}"
+        print(f"{phase:<10}{ref_s:>13.4f}{opt_s:>13.4f}{ratio}")
+
+
+def run_bench(args) -> int:
+    rows: List[Dict] = []
+    for workload in WORKLOADS:
+        config = workload_config(args, workload)
+        print(
+            f"[{workload}] {config.num_devices} devices / {config.num_edges} "
+            f"edges / {config.num_steps} steps / sampler={args.sampler} / "
+            f"repeats={args.repeats}"
+        )
+        with hotpath_disabled():
+            ref_s, ref_result, ref_phases = timed_run(
+                config, args.sampler, args.repeats
+            )
+        opt_s, opt_result, opt_phases = timed_run(
+            config, args.sampler, args.repeats
+        )
+        same = identical(ref_result, opt_result)
+        print_phase_table(ref_phases, opt_phases)
+        print(
+            f"{'end-to-end':<10}{ref_s:>13.4f}{opt_s:>13.4f}"
+            f"{ref_s / opt_s:>9.2f}  identical={same}"
+        )
+        if not same:
+            print(
+                "FATAL: optimized history diverged from the reference path",
+                file=sys.stderr,
+            )
+            return 1
+        rows.append(
+            {
+                "workload": workload,
+                "devices": config.num_devices,
+                "edges": config.num_edges,
+                "steps": config.num_steps,
+                "sampler": args.sampler,
+                "reference": {"seconds": ref_s, "phases": ref_phases},
+                "optimized": {"seconds": opt_s, "phases": opt_phases},
+                "speedup": ref_s / opt_s,
+                "identical": same,
+            }
+        )
+
+    if args.json is not None:
+        report = {
+            "seed": args.seed,
+            "repeats": args.repeats,
+            "host": {
+                "cpu_count": os.cpu_count(),
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+            },
+            "results": rows,
+        }
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[report saved to {args.json}]")
+    return 0
+
+
+def run_smoke(args) -> int:
+    """The CI bit-identity smoke over both timed workloads."""
+    for workload in WORKLOADS:
+        config = workload_config(args, workload)
+        print(
+            f"[smoke/{workload}] reference vs optimized on "
+            "serial/thread/process ..."
+        )
+        with hotpath_disabled():
+            reference = run_single(config, args.sampler)
+        telemetry = TelemetryRecorder()
+        optimized = {
+            "serial": run_single(config, args.sampler, telemetry=telemetry)
+        }
+        for executor in ("thread", "process"):
+            optimized[executor] = run_single(
+                config.with_overrides(executor=executor, num_workers=2),
+                args.sampler,
+            )
+        for executor, result in optimized.items():
+            if not identical(reference, result):
+                print(
+                    f"FATAL: optimized {executor} history diverged from the "
+                    "reference path",
+                    file=sys.stderr,
+                )
+                return 1
+        print("        ok: three optimized backends match the reference bit for bit")
+        for phase, stats in telemetry.phase_summary().items():
+            print(
+                f"        phase {phase:<8} {stats['seconds']:>9.4f}s "
+                f"({100 * stats['share']:5.1f}%)"
+            )
+
+    print("[smoke] checkpoint kill/resume on the optimized path ...")
+    config = workload_config(args, "mlp")
+    kill_at = config.num_steps // 2 + 1
+    with tempfile.TemporaryDirectory() as tmp:
+        path = str(Path(tmp) / "checkpoint.json")
+        uninterrupted = run_single(
+            config.with_overrides(checkpoint_every=kill_at, checkpoint_path=path),
+            args.sampler,
+        )
+        resumed = run_single(config, args.sampler, resume_from=path)
+    if not identical(uninterrupted, resumed):
+        print("FATAL: resumed run diverged from uninterrupted run", file=sys.stderr)
+        return 1
+    print(f"        ok: killed at step {kill_at}, resume replayed exactly")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--devices", type=int, default=12)
+    parser.add_argument("--edges", type=int, default=3)
+    parser.add_argument("--steps", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sampler", default="mach")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repeats per path (best is kept)")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write the machine-readable report here")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the CI bit-identity smoke instead of the timed benchmark",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke(args)
+    return run_bench(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

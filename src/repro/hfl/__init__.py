@@ -11,7 +11,12 @@ from repro.hfl.cloud import Cloud
 from repro.hfl.config import HFLConfig
 from repro.hfl.device import Device, LocalUpdateResult
 from repro.hfl.edge import Edge
-from repro.hfl.metrics import TrainingHistory, evaluate_accuracy, evaluate_loss
+from repro.hfl.metrics import (
+    TrainingHistory,
+    evaluate,
+    evaluate_accuracy,
+    evaluate_loss,
+)
 from repro.hfl.latency import LatencyConfig, LatencySimulator
 from repro.hfl.telemetry import EdgeRoundRecord, TelemetryRecorder
 from repro.hfl.trainer import HFLTrainer, TrainingResult
@@ -27,6 +32,7 @@ __all__ = [
     "LatencyConfig",
     "LatencySimulator",
     "EdgeRoundRecord",
+    "evaluate",
     "evaluate_accuracy",
     "evaluate_loss",
     "HFLTrainer",

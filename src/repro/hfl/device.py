@@ -8,6 +8,7 @@ from typing import List
 import numpy as np
 
 from repro.data.dataset import Dataset
+from repro.hotpath import hotpath_enabled
 from repro.nn.loss import SoftmaxCrossEntropy
 from repro.nn.model import Model
 from repro.utils.rng import RngLike, as_generator
@@ -63,13 +64,23 @@ class Device:
         rng = as_generator(rng)
         loss_fn = SoftmaxCrossEntropy()
 
-        model.set_flat(start_model)
-        flat = model.get_flat_parameters()
+        if hotpath_enabled():
+            # The downloaded model defines the working flat vector
+            # directly — the reference path's set_flat + get_flat round
+            # trip walks every parameter twice for the same bits.  One
+            # gradient buffer serves all I steps.
+            flat = np.array(start_model, dtype=float)
+            model.set_flat_parameters(flat)
+            grad_out = np.empty_like(flat)
+        else:
+            model.set_flat(start_model)
+            flat = model.get_flat_parameters()
+            grad_out = None
         grad_sq_norms: List[float] = []
         losses: List[float] = []
         for _tau in range(local_epochs):
             x, y = self.dataset.sample_batch(batch_size, rng=rng)
-            loss, grad = model.loss_and_grad(x, y, loss_fn)
+            loss, grad = model.loss_and_grad(x, y, loss_fn, out=grad_out)
             grad_sq_norms.append(float(grad @ grad))
             losses.append(loss)
             # w^{t,τ+1} = w^{t,τ} − γ g_m(w^{t,τ}, ξ^{t,τ})

@@ -105,6 +105,10 @@ class TelemetryRecorder:
         self.fault_counts: Dict[str, int] = {}
         self.degraded_rounds: List[DegradedRoundRecord] = []
         self.sync_attempts: List[SyncAttemptRecord] = []
+        #: Accumulated wall-clock seconds per engine phase (plan /
+        #: execute / finish / sync / eval) — see :meth:`record_phase`.
+        self.phase_seconds: Dict[str, float] = {}
+        self.phase_calls: Dict[str, int] = {}
 
     # -- hooks called by the trainer ---------------------------------------
 
@@ -181,7 +185,40 @@ class TelemetryRecorder:
                 self.fault_counts.get("stale_sync", 0) + 1
             )
 
+    def record_phase(self, phase: str, seconds: float) -> None:
+        """Accumulate wall-clock time spent in one engine phase.
+
+        The trainer calls this once per phase per time step (and per
+        evaluation point for ``eval``).  Phase timings are host-specific
+        observability, *not* part of the deterministic run record: they
+        are deliberately excluded from :meth:`state_dict`, so a resumed
+        run's telemetry stream still compares equal to an uninterrupted
+        one bit for bit.
+        """
+        if seconds < 0:
+            raise ValueError(f"phase seconds must be >= 0, got {seconds}")
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+        self.phase_calls[phase] = self.phase_calls.get(phase, 0) + 1
+
     # -- summaries ----------------------------------------------------------
+
+    def phase_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase totals: seconds, call count and share of the total.
+
+        The shares answer the first profiling question — *where does a
+        time step go?* — without an external profiler;
+        ``benchmarks/bench_hotpath.py`` renders this table before and
+        after the hot-path optimizations.
+        """
+        total = sum(self.phase_seconds.values())
+        return {
+            phase: {
+                "seconds": seconds,
+                "calls": float(self.phase_calls.get(phase, 0)),
+                "share": (seconds / total) if total > 0 else 0.0,
+            }
+            for phase, seconds in sorted(self.phase_seconds.items())
+        }
 
     def participation_counts(self) -> Dict[int, int]:
         return dict(self._participation)
@@ -264,7 +301,13 @@ class TelemetryRecorder:
     # -- checkpointing -------------------------------------------------------
 
     def state_dict(self) -> dict:
-        """JSON-compatible snapshot of the full telemetry stream."""
+        """JSON-compatible snapshot of the full telemetry stream.
+
+        Phase wall-times (:meth:`record_phase`) are intentionally *not*
+        part of the snapshot: they measure the host, not the run, and
+        including them would break the exact-equality contract between
+        a resumed and an uninterrupted run's telemetry state.
+        """
         return {
             "records": [asdict(r) for r in self.records],
             "participation": {str(k): v for k, v in self._participation.items()},

@@ -41,6 +41,7 @@ killed run exactly.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
@@ -53,7 +54,7 @@ from repro.hfl.cloud import Cloud
 from repro.hfl.config import HFLConfig
 from repro.hfl.device import Device, LocalUpdateResult
 from repro.hfl.edge import Edge
-from repro.hfl.metrics import TrainingHistory, evaluate_accuracy, evaluate_loss
+from repro.hfl.metrics import TrainingHistory, evaluate
 from repro.hfl.telemetry import TelemetryRecorder
 from repro.mobility.trace import MobilityTrace
 from repro.nn.model import Model
@@ -272,14 +273,14 @@ class HFLTrainer:
         a corrupted upload from ever reaching aggregation.
         """
         num_sampled = len(results)
-        next_members = set(
-            int(m) for m in self.trace.devices_at(t + 1, edge_id)
-        )
+        # O(1) membership probe per device against the next step's raw
+        # assignment row — no per-(edge, step) Python set to rebuild.
+        next_row = self.trace.assignment_row(t + 1)
         surviving: Dict[int, LocalUpdateResult] = {}
         failures: Dict[int, str] = {}
         for m in sorted(results):
             result = results[m]
-            departed = m not in next_members
+            departed = int(next_row[m]) != edge_id
             kind = self.fault_model.upload_fault(
                 t, edge_id, m, departed, num_sampled
             )
@@ -350,14 +351,29 @@ class HFLTrainer:
         return len(results)
 
     def _train_step(self, t: int) -> int:
-        """One full time step; returns the total participant count."""
+        """One full time step; returns the total participant count.
+
+        Phase wall-times (plan / execute / finish) land in the attached
+        telemetry recorder; the clock reads cost nanoseconds, so they
+        are taken unconditionally to keep one code path.
+        """
+        clock = time.perf_counter
+        t0 = clock()
         pending = [self._plan_round(t, edge) for edge in self.edges]
         active = [p for p in pending if p is not None]
+        t1 = clock()
         step_results = self.executor.run_step([p.plan for p in active])
-        return sum(
+        t2 = clock()
+        total = sum(
             self._finish_round(t, p, results)
             for p, results in zip(active, step_results)
         )
+        if self.telemetry is not None:
+            t3 = clock()
+            self.telemetry.record_phase("plan", t1 - t0)
+            self.telemetry.record_phase("execute", t2 - t1)
+            self.telemetry.record_phase("finish", t3 - t2)
+        return total
 
     def _sync_to_cloud(self, t: int) -> None:
         """Edge→cloud aggregation and broadcast (Algorithm 1 lines 12–13).
@@ -369,12 +385,7 @@ class HFLTrainer:
         exhausted, so one flaky backhaul degrades the global model's
         freshness instead of killing the round.
         """
-        counts = np.array(
-            [
-                self.trace.devices_at(t, n).size
-                for n in range(self.trace.num_edges)
-            ]
-        )
+        counts = self.trace.counts_at(t)
         if self.fault_model is None:
             self.cloud.aggregate(self.edges, counts)
         else:
@@ -403,10 +414,7 @@ class HFLTrainer:
     def _virtual_global(self, t: int) -> np.ndarray:
         """Member-count-weighted average of edge models (equals the cloud
         model right after a sync step)."""
-        counts = np.array(
-            [self.trace.devices_at(t, n).size for n in range(self.trace.num_edges)],
-            dtype=float,
-        )
+        counts = self.trace.counts_at(t)
         total = counts.sum()
         aggregate = np.zeros_like(self.cloud.model)
         for edge, count in zip(self.edges, counts):
@@ -532,18 +540,26 @@ class HFLTrainer:
         history = self._history
         eval_interval = self.config.effective_eval_interval
 
+        clock = time.perf_counter
         steps_run = start_step
         for t in range(start_step, num_steps):
             self._total_participants += self._train_step(t)
 
             if t % self.config.sync_interval == 0:
+                t0 = clock()
                 self._sync_to_cloud(t)
+                if self.telemetry is not None:
+                    self.telemetry.record_phase("sync", clock() - t0)
 
             steps_run = t + 1
             if steps_run % eval_interval == 0 or steps_run == num_steps:
+                t0 = clock()
                 self.model.set_flat(self._virtual_global(t))
-                accuracy = evaluate_accuracy(self.model, self.test_dataset)
-                loss = evaluate_loss(self.model, self.test_dataset)
+                # One fused pass over the test set yields both metrics
+                # (bit-identical to the separate accuracy/loss passes).
+                accuracy, loss = evaluate(self.model, self.test_dataset)
+                if self.telemetry is not None:
+                    self.telemetry.record_phase("eval", clock() - t0)
                 history.record(steps_run, accuracy, loss)
                 if (
                     target_accuracy is not None

@@ -10,10 +10,11 @@ and cover all of M — holds by construction and is checked by
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.hotpath import hotpath_enabled
 from repro.utils.rng import RngLike, as_generator
 from repro.utils.validation import check_positive
 
@@ -28,6 +29,11 @@ class MobilityTrace:
         the edge index device ``m`` accesses at time step ``t``.
     num_edges:
         Total number of edges N (edge indices are in [0, num_edges)).
+
+    A trace is immutable after construction: membership queries are
+    served from a lazily built per-step index (devices grouped by edge
+    plus a ``bincount`` of per-edge counts), so mutating
+    ``assignments`` in place would silently desynchronize the cache.
     """
 
     def __init__(self, assignments: np.ndarray, num_edges: int) -> None:
@@ -46,6 +52,11 @@ class MobilityTrace:
             )
         self.assignments = assignments
         self.num_edges = int(num_edges)
+        # Per-wrapped-step membership index, built lazily by
+        # :meth:`_step_index`.  The trace replays cyclically, so the
+        # cache is bounded by ``num_steps`` entries regardless of how
+        # long training runs.
+        self._membership: Dict[int, Tuple[List[np.ndarray], np.ndarray]] = {}
 
     @property
     def num_steps(self) -> int:
@@ -59,11 +70,65 @@ class MobilityTrace:
         """Edge index device ``device`` accesses at step ``t``."""
         return int(self.assignments[self._wrap(t), device])
 
+    def _step_index(self, wrapped: int) -> Tuple[List[np.ndarray], np.ndarray]:
+        """Membership index of one wrapped step: (members by edge, counts).
+
+        One stable argsort groups the step's devices by edge; within a
+        group the original (ascending device-id) order survives, so each
+        member array is exactly what ``np.flatnonzero(row == edge)``
+        returns — without re-scanning the row once per edge.  The member
+        arrays are frozen (non-writeable) because they are shared with
+        every caller; take a copy before mutating.
+        """
+        index = self._membership.get(wrapped)
+        if index is None:
+            row = self.assignments[wrapped]
+            counts = np.bincount(row, minlength=self.num_edges)
+            order = np.argsort(row, kind="stable")
+            bounds = np.concatenate(([0], np.cumsum(counts)))
+            members = [
+                order[bounds[n] : bounds[n + 1]] for n in range(self.num_edges)
+            ]
+            for arr in members:
+                arr.flags.writeable = False
+            counts.flags.writeable = False
+            index = (members, counts)
+            self._membership[wrapped] = index
+        return index
+
     def devices_at(self, t: int, edge: int) -> np.ndarray:
-        """The device set ``M^t_n`` (sorted device indices)."""
+        """The device set ``M^t_n`` (sorted device indices).
+
+        On the optimized hot path this is a lookup into the per-step
+        membership index (the returned array is shared and frozen); the
+        reference path re-derives it with a fresh ``flatnonzero`` scan.
+        """
         if not 0 <= edge < self.num_edges:
             raise ValueError(f"edge must be in [0, {self.num_edges}), got {edge}")
-        return np.flatnonzero(self.assignments[self._wrap(t)] == edge)
+        if not hotpath_enabled():
+            return np.flatnonzero(self.assignments[self._wrap(t)] == edge)
+        return self._step_index(self._wrap(t))[0][edge]
+
+    def counts_at(self, t: int) -> np.ndarray:
+        """Member counts ``|M^t_n|`` for every edge, shape (num_edges,).
+
+        Vectorized via one ``bincount`` (cached per wrapped step); the
+        reference path sizes each ``devices_at`` result individually.
+        """
+        if not hotpath_enabled():
+            return np.array(
+                [self.devices_at(t, n).size for n in range(self.num_edges)]
+            )
+        return self._step_index(self._wrap(t))[1]
+
+    def assignment_row(self, t: int) -> np.ndarray:
+        """The raw edge-index row at (wrapped) step ``t``.
+
+        ``row[m] == edge`` is the O(1) membership test the trainer's
+        fault screening uses instead of materializing ``devices_at`` as
+        a Python set.
+        """
+        return self.assignments[self._wrap(t)]
 
     def indicator_matrix(self, t: int) -> np.ndarray:
         """The binary matrix ``B^t`` of shape (num_edges, num_devices)."""
@@ -87,16 +152,23 @@ class MobilityTrace:
         """Check the Eq. (1) partition property at every step.
 
         With a dense assignment array the property holds structurally;
-        this method re-derives it from the indicator matrices as a
-        defence against future representation changes.
+        this method re-derives it from the representation as a defence
+        against future representation changes.  A device is in exactly
+        one edge iff its entry is a valid edge index, so one vectorized
+        bounds check over the whole array replaces the per-step dense
+        ``(num_edges, num_devices)`` indicator matrices the original
+        implementation materialized.
         """
-        for t in range(self.num_steps):
-            matrix = self.indicator_matrix(t)
-            per_device = matrix.sum(axis=0)
-            if not np.all(per_device == 1):
-                raise AssertionError(
-                    f"step {t}: some device is in != 1 edge (counts {per_device})"
-                )
+        in_one_edge = (self.assignments >= 0) & (
+            self.assignments < self.num_edges
+        )
+        if in_one_edge.all():
+            return
+        t = int(np.flatnonzero(~in_one_edge.all(axis=1))[0])
+        per_device = in_one_edge[t].astype(int)
+        raise AssertionError(
+            f"step {t}: some device is in != 1 edge (counts {per_device})"
+        )
 
     # ---- statistics ------------------------------------------------------
 

@@ -13,7 +13,7 @@ and per-step stochastic gradients, which is all the sampling algorithms
 observe.
 """
 
-from repro.nn.functional import one_hot, softmax
+from repro.nn.functional import ConvWorkspace, one_hot, softmax
 from repro.nn.layers import (
     Conv2d,
     Dense,
@@ -52,6 +52,7 @@ __all__ = [
     "ConstantLR",
     "ExponentialDecayLR",
     "Parameter",
+    "ConvWorkspace",
     "one_hot",
     "softmax",
     "build_mnist_cnn",

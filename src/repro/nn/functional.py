@@ -1,10 +1,72 @@
-"""Stateless tensor operations shared by the layer implementations."""
+"""Stateless tensor operations shared by the layer implementations.
+
+The conv helpers optionally take a :class:`ConvWorkspace` — a per-layer
+bag of reusable scratch buffers keyed by geometry — so the hot training
+loop stops paying a fresh pad + column allocation on every forward and
+a fresh accumulation image on every backward.  Passing no workspace
+preserves the original allocate-per-call behaviour bit for bit.
+"""
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
+
+
+class ConvWorkspace:
+    """Reusable conv scratch buffers, keyed by ``(tag, shape)``.
+
+    One workspace belongs to one layer instance and is therefore only
+    ever touched by one thread at a time (thread workers clone the whole
+    model, process workers own their copy).  A buffer is invalidated
+    simply by shape or dtype mismatch — e.g. the smaller final batch of
+    an epoch gets its own entry instead of corrupting the full-batch
+    one.
+
+    Invalidation rule for callers: an array obtained from a workspace
+    (including views of it returned by :func:`im2col` / :func:`col2im`)
+    is valid until the owning layer's *next* forward/backward call, which
+    overwrites it in place.  The engine's forward→backward→forward
+    cadence never violates this; code that retains conv activations or
+    gradients across calls must copy them first.
+
+    Workspaces are pure scratch: deep copies and pickles (worker-context
+    clones, process-pool shipping, checkpoints) intentionally reset them
+    to empty instead of hauling dead buffers around.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: Dict[tuple, np.ndarray] = {}
+
+    def get(
+        self,
+        tag: str,
+        shape: Tuple[int, ...],
+        dtype: np.dtype,
+        zero_on_alloc: bool = False,
+    ) -> np.ndarray:
+        """The cached buffer for ``(tag, shape, dtype)``, allocating once.
+
+        ``zero_on_alloc`` zero-fills *freshly allocated* buffers only —
+        the pad buffer needs zero borders, and those are never written
+        afterwards, so a cache hit can skip the memset.
+        """
+        key = (tag, shape, np.dtype(dtype))
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            alloc = np.zeros if zero_on_alloc else np.empty
+            buffer = alloc(shape, dtype=dtype)
+            self._buffers[key] = buffer
+        return buffer
+
+    def __deepcopy__(self, memo) -> "ConvWorkspace":
+        return ConvWorkspace()
+
+    def __reduce__(self):
+        return (ConvWorkspace, ())
 
 
 def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -41,7 +103,11 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
 
 
 def im2col(
-    x: np.ndarray, kernel: int, stride: int, padding: int
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    padding: int,
+    workspace: Optional[ConvWorkspace] = None,
 ) -> Tuple[np.ndarray, int, int]:
     """Unfold a batch of images into convolution columns.
 
@@ -51,6 +117,11 @@ def im2col(
         Input of shape (B, C, H, W).
     kernel, stride, padding:
         Square window geometry.
+    workspace:
+        Reusable pad/column buffers; when given, the returned ``cols``
+        is a workspace buffer valid until the next call with the same
+        workspace (see :class:`ConvWorkspace`).  Values are bit-identical
+        either way.
 
     Returns
     -------
@@ -64,11 +135,28 @@ def im2col(
     out_w = conv_output_size(width, kernel, stride, padding)
 
     if padding > 0:
-        x = np.pad(
-            x,
-            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
-            mode="constant",
-        )
+        if workspace is None:
+            x = np.pad(
+                x,
+                ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+                mode="constant",
+            )
+        else:
+            # The borders are zeroed once at allocation and never
+            # written, so a cache hit only copies the interior.
+            padded = workspace.get(
+                "pad",
+                (
+                    batch,
+                    channels,
+                    height + 2 * padding,
+                    width + 2 * padding,
+                ),
+                x.dtype,
+                zero_on_alloc=True,
+            )
+            padded[:, :, padding : padding + height, padding : padding + width] = x
+            x = padded
 
     # Strided sliding-window view: (B, C, out_h, out_w, kernel, kernel)
     s0, s1, s2, s3 = x.strides
@@ -78,10 +166,13 @@ def im2col(
         strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
         writeable=False,
     )
-    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(
-        batch, channels * kernel * kernel, out_h * out_w
-    )
-    return np.ascontiguousarray(cols), out_h, out_w
+    gathered = windows.transpose(0, 1, 4, 5, 2, 3)
+    cols_shape = (batch, channels * kernel * kernel, out_h * out_w)
+    if workspace is None:
+        return np.ascontiguousarray(gathered.reshape(cols_shape)), out_h, out_w
+    cols = workspace.get("cols", cols_shape, x.dtype)
+    cols.reshape(batch, channels, kernel, kernel, out_h, out_w)[...] = gathered
+    return cols, out_h, out_w
 
 
 def col2im(
@@ -90,19 +181,33 @@ def col2im(
     kernel: int,
     stride: int,
     padding: int,
+    workspace: Optional[ConvWorkspace] = None,
 ) -> np.ndarray:
     """Fold convolution columns back into an image, summing overlaps.
 
     Inverse (adjoint) of :func:`im2col`; used for the convolution
-    backward pass with respect to the input.
+    backward pass with respect to the input.  With a ``workspace`` the
+    returned gradient is (a view of) a reused accumulation buffer —
+    valid until the next call, per the :class:`ConvWorkspace`
+    invalidation rule.  The buffer must be re-zeroed every call because
+    the fold accumulates into it; this tag is distinct from the im2col
+    pad buffer, whose borders rely on staying untouched.
     """
     batch, channels, height, width = x_shape
     out_h = conv_output_size(height, kernel, stride, padding)
     out_w = conv_output_size(width, kernel, stride, padding)
 
-    padded = np.zeros(
-        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=cols.dtype
+    padded_shape = (
+        batch,
+        channels,
+        height + 2 * padding,
+        width + 2 * padding,
     )
+    if workspace is None:
+        padded = np.zeros(padded_shape, dtype=cols.dtype)
+    else:
+        padded = workspace.get("col2im", padded_shape, cols.dtype)
+        padded.fill(0.0)
     reshaped = cols.reshape(batch, channels, kernel, kernel, out_h, out_w)
     for ki in range(kernel):
         i_max = ki + stride * out_h

@@ -18,7 +18,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.nn.functional import col2im, conv_output_size, im2col
+from repro.hotpath import hotpath_enabled
+from repro.nn.functional import ConvWorkspace, col2im, conv_output_size, im2col
 from repro.nn.parameters import Parameter
 
 
@@ -92,10 +93,16 @@ class ReLU(Layer):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
-        mask = x > 0
+        if not hotpath_enabled():
+            mask = x > 0
+            if training:
+                self._mask = mask
+            return np.where(mask, x, 0.0)
+        # np.maximum is a single fused ufunc pass; inference forwards
+        # skip the mask entirely (it only feeds backward).
         if training:
-            self._mask = mask
-        return np.where(mask, x, 0.0)
+            self._mask = x > 0
+        return np.maximum(x, 0.0)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
@@ -180,6 +187,10 @@ class Conv2d(Layer):
         self.stride = stride
         self.padding = padding
         self._cache = None
+        # Per-layer reusable pad/column/fold buffers (DESIGN.md §9);
+        # resets to empty on deepcopy/pickle, so worker clones and
+        # checkpoints never ship scratch memory.
+        self._workspace = ConvWorkspace()
 
     def parameters(self) -> List[Parameter]:
         return [self.weight, self.bias]
@@ -189,7 +200,10 @@ class Conv2d(Layer):
             raise ValueError(
                 f"Conv2d expects (B, {self.in_channels}, H, W), got {x.shape}"
             )
-        cols, out_h, out_w = im2col(x, self.kernel_size, self.stride, self.padding)
+        workspace = self._workspace if hotpath_enabled() else None
+        cols, out_h, out_w = im2col(
+            x, self.kernel_size, self.stride, self.padding, workspace=workspace
+        )
         w_mat = self.weight.value.reshape(self.out_channels, -1)
         # (B, out_c, out_h*out_w) = (out_c, k) @ (B, k, out_h*out_w)
         out = np.einsum("ok,bkp->bop", w_mat, cols) + self.bias.value[None, :, None]
@@ -211,7 +225,15 @@ class Conv2d(Layer):
         self.bias.grad += grad_mat.sum(axis=(0, 2))
 
         grad_cols = np.einsum("ok,bop->bkp", w_mat, grad_mat)
-        return col2im(grad_cols, x_shape, self.kernel_size, self.stride, self.padding)
+        workspace = self._workspace if hotpath_enabled() else None
+        return col2im(
+            grad_cols,
+            x_shape,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+            workspace=workspace,
+        )
 
 
 class MaxPool2d(Layer):

@@ -117,18 +117,24 @@ class Model:
         x: np.ndarray,
         y: np.ndarray,
         loss_fn: Optional[SoftmaxCrossEntropy] = None,
+        out: Optional[np.ndarray] = None,
     ) -> Tuple[float, np.ndarray]:
         """One forward/backward pass; returns (loss, flat gradient).
 
         Gradients are zeroed first, so the returned vector is exactly the
         stochastic gradient ``g_m(w, ξ)`` of Eq. (4) for this minibatch.
+
+        ``out``, when given, receives the flat gradient in place and is
+        returned — the local-update loop passes one scratch buffer per
+        device round instead of allocating a fresh
+        ``num_parameters``-sized vector every SGD step.
         """
         loss_fn = loss_fn if loss_fn is not None else SoftmaxCrossEntropy()
         self.zero_grad()
         logits = self.forward(x, training=True)
         loss = loss_fn.forward(logits, y)
         self.backward(loss_fn.backward())
-        return loss, self.get_flat_grad()
+        return loss, self.get_flat_grad(out=out)
 
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Class predictions for ``x``, evaluated in inference mode."""

@@ -88,6 +88,11 @@ class Executor(ABC):
         Each returned dict maps device id → :class:`LocalUpdateResult`
         for exactly the devices of the corresponding plan.  The call is
         a barrier: all items complete before it returns.
+
+        Ownership: a backend may reuse the returned *list* as a per-step
+        buffer (the serial backend does); the per-round dicts and result
+        objects inside are fresh every step.  Callers that retain the
+        list across steps must copy it.
         """
 
     def close(self) -> None:

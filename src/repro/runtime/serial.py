@@ -15,10 +15,24 @@ class SerialExecutor(Executor):
     ``executor=None`` / ``executor="serial"`` run costs exactly what the
     pre-runtime engine did.  The parallel backends are defined to be
     bit-identical to this one for the same master seed.
+
+    The returned results list is a reusable buffer owned by the
+    executor: it is cleared and refilled on every :meth:`run_step`, so
+    callers that retain results across steps must copy the list (the
+    per-round dicts and their :class:`~repro.hfl.device
+    .LocalUpdateResult` values are fresh each step and safe to keep).
     """
 
     name = "serial"
 
+    def __init__(self) -> None:
+        super().__init__()
+        self._results: List[RoundResults] = []
+
     def run_step(self, plans: Sequence[EdgeRoundPlan]) -> List[RoundResults]:
         context = self.context
-        return [context.run_round(plan) for plan in plans]
+        results = self._results
+        results.clear()
+        for plan in plans:
+            results.append(context.run_round(plan))
+        return results

@@ -31,6 +31,10 @@ class ThreadExecutor(Executor):
         self.num_workers = resolve_num_workers(num_workers)
         self._pool: Optional[_ThreadPool] = None
         self._thread_local = threading.local()
+        # Reusable per-step submission buffer; cleared every run_step so
+        # the hot loop stops reallocating one list of (index, device,
+        # future) triples per time step.
+        self._pending: List[Tuple[int, int, Future]] = []
 
     def _on_bind(self) -> None:
         # Thread-local clones were built from the previous context.
@@ -56,19 +60,20 @@ class ThreadExecutor(Executor):
     def run_step(self, plans: Sequence[EdgeRoundPlan]) -> List[RoundResults]:
         self.context  # fail fast before touching the pool
         pool = self._ensure_pool()
-        pending: List[Tuple[int, int, Future]] = []
+        submit = pool.submit
+        run_item = self._run_item
+        pending = self._pending
+        pending.clear()
         for index, plan in enumerate(plans):
+            start_model = plan.start_model
             for item in plan.items:
                 pending.append(
-                    (
-                        index,
-                        item.device_id,
-                        pool.submit(self._run_item, plan.start_model, item),
-                    )
+                    (index, item.device_id, submit(run_item, start_model, item))
                 )
         results: List[RoundResults] = [{} for _ in plans]
         for index, device_id, future in pending:
             results[index][device_id] = future.result()
+        pending.clear()  # drop future references promptly
         return results
 
     def close(self) -> None:

@@ -1,0 +1,135 @@
+"""Engine-level bit-identity tests for the hot-path overhaul.
+
+The optimized engine paths (fused evaluation, membership index, reusable
+gradient buffers, conv workspaces) must reproduce the reference paths
+exactly — not approximately — so a whole training run behind
+``hotpath_disabled()`` is the oracle for the optimized one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic import make_blobs_dataset
+from repro.experiments.config import PRESETS
+from repro.experiments.runner import run_single
+from repro.hfl.metrics import evaluate, evaluate_accuracy, evaluate_loss
+from repro.hfl.telemetry import TelemetryRecorder
+from repro.hotpath import hotpath_disabled
+from repro.nn.architectures import build_mlp, build_mnist_cnn
+
+
+class TestFusedEvaluate:
+    def test_matches_separate_passes_bitwise(self, rng):
+        model = build_mlp(16, hidden=(8,), rng=rng)
+        ds = make_blobs_dataset(70, num_features=16, rng=rng)
+        accuracy, loss = evaluate(model, ds, batch_size=16)
+        assert accuracy == evaluate_accuracy(model, ds, batch_size=16)
+        assert loss == evaluate_loss(model, ds, batch_size=16)
+
+    def test_matches_separate_passes_cnn(self, rng):
+        model = build_mnist_cnn(input_shape=(1, 8, 8), width=2, hidden=8, rng=rng)
+        x = rng.normal(size=(30, 1, 8, 8))
+        y = rng.integers(0, 10, size=30)
+        ds = Dataset(x=x, y=y, num_classes=10)
+        accuracy, loss = evaluate(model, ds, batch_size=8)
+        assert accuracy == evaluate_accuracy(model, ds, batch_size=8)
+        assert loss == evaluate_loss(model, ds, batch_size=8)
+
+    def test_reference_fallback_agrees(self, rng):
+        model = build_mlp(16, hidden=(8,), rng=rng)
+        ds = make_blobs_dataset(50, num_features=16, rng=rng)
+        optimized = evaluate(model, ds)
+        with hotpath_disabled():
+            reference = evaluate(model, ds)
+        assert optimized == reference
+
+    def test_empty_dataset_raises(self, rng):
+        model = build_mlp(16, hidden=(8,), rng=rng)
+        empty = make_blobs_dataset(0, labels=np.zeros(0, dtype=int))
+        with pytest.raises(ValueError):
+            evaluate(model, empty)
+
+
+def tiny_config(**overrides):
+    base = dict(
+        num_devices=6,
+        num_edges=2,
+        num_steps=4,
+        samples_per_device=20,
+        test_samples=60,
+        num_workers=2,
+        trace_kind="markov",
+        seed=5,
+    )
+    base.update(overrides)
+    return PRESETS["blobs-bench"].with_overrides(**base)
+
+
+def histories_identical(a, b) -> bool:
+    return (
+        a.history.steps == b.history.steps
+        and a.history.accuracy == b.history.accuracy
+        and a.history.loss == b.history.loss
+        and np.array_equal(a.participation_counts, b.participation_counts)
+    )
+
+
+class TestTrainerHotpathParity:
+    """A full run down the optimized path equals the reference run."""
+
+    def test_serial_run_bit_identical(self):
+        config = tiny_config()
+        with hotpath_disabled():
+            reference = run_single(config, "mach")
+        optimized = run_single(config, "mach")
+        assert histories_identical(reference, optimized)
+
+    def test_faulty_run_bit_identical(self):
+        config = tiny_config(fault_profile="severe")
+        with hotpath_disabled():
+            reference = run_single(config, "mach")
+        optimized = run_single(config, "mach")
+        assert histories_identical(reference, optimized)
+
+
+class TestPhaseTiming:
+    def test_trainer_records_engine_phases(self):
+        telemetry = TelemetryRecorder()
+        run_single(tiny_config(), "mach", telemetry=telemetry)
+        summary = telemetry.phase_summary()
+        for phase in ("plan", "execute", "finish", "eval"):
+            assert phase in summary
+            assert summary[phase]["seconds"] >= 0.0
+            assert summary[phase]["calls"] >= 1
+        assert sum(s["share"] for s in summary.values()) == pytest.approx(1.0)
+
+    def test_record_phase_accumulates(self):
+        telemetry = TelemetryRecorder()
+        telemetry.record_phase("plan", 0.5)
+        telemetry.record_phase("plan", 0.25)
+        telemetry.record_phase("eval", 0.25)
+        summary = telemetry.phase_summary()
+        assert summary["plan"]["seconds"] == pytest.approx(0.75)
+        assert summary["plan"]["calls"] == 2
+        assert summary["eval"]["share"] == pytest.approx(0.25)
+
+    def test_record_phase_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TelemetryRecorder().record_phase("plan", -0.1)
+
+    def test_empty_summary(self):
+        assert TelemetryRecorder().phase_summary() == {}
+
+    def test_phase_times_excluded_from_state_dict(self):
+        """Kill/resume compares telemetry state dicts with ``==``; host
+        wall-times must therefore never enter the snapshot."""
+        telemetry = TelemetryRecorder()
+        telemetry.record_phase("execute", 1.0)
+        state = telemetry.state_dict()
+        assert "phase_seconds" not in state
+        assert "phase_calls" not in state
+        restored = TelemetryRecorder()
+        restored.load_state_dict(state)
+        assert restored.state_dict() == state
+        assert restored.phase_summary() == {}

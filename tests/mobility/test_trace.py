@@ -121,3 +121,89 @@ class TestStaticTrace:
     def test_rejects_bad_assignment_shape(self):
         with pytest.raises(ValueError, match="shape"):
             static_trace(5, 3, 2, assignment=np.array([0, 1]))
+
+
+class TestMembershipIndex:
+    """The cached per-step membership index must be an exact drop-in
+    for the per-edge ``flatnonzero`` scans it replaces (DESIGN.md §9)."""
+
+    @given(st.integers(1, 6), st.integers(1, 12), st.integers(1, 5), st.integers(0, 99))
+    @settings(max_examples=30, deadline=None)
+    def test_devices_at_matches_flatnonzero(self, steps, devices, edges, seed):
+        rng = np.random.default_rng(seed)
+        trace = MobilityTrace(
+            rng.integers(0, edges, size=(steps, devices)), num_edges=edges
+        )
+        # Include wrapped steps beyond the recorded trace (cyclic replay).
+        for t in list(range(steps)) + [steps, 2 * steps + 1]:
+            row = trace.assignments[t % steps]
+            for n in range(edges):
+                np.testing.assert_array_equal(
+                    trace.devices_at(t, n), np.flatnonzero(row == n)
+                )
+
+    @given(st.integers(1, 6), st.integers(1, 12), st.integers(1, 5), st.integers(0, 99))
+    @settings(max_examples=30, deadline=None)
+    def test_counts_at_matches_member_sizes(self, steps, devices, edges, seed):
+        rng = np.random.default_rng(seed)
+        trace = MobilityTrace(
+            rng.integers(0, edges, size=(steps, devices)), num_edges=edges
+        )
+        for t in (0, steps - 1, steps + 1):
+            counts = trace.counts_at(t)
+            assert counts.shape == (edges,)
+            assert counts.sum() == devices
+            np.testing.assert_array_equal(
+                counts, [trace.devices_at(t, n).size for n in range(edges)]
+            )
+
+    def test_hotpath_and_reference_paths_agree(self):
+        from repro.hotpath import hotpath_disabled
+
+        trace = simple_trace()
+        for t in range(trace.num_steps + 2):
+            with hotpath_disabled():
+                reference_counts = trace.counts_at(t)
+                reference_members = [
+                    trace.devices_at(t, n) for n in range(trace.num_edges)
+                ]
+            np.testing.assert_array_equal(trace.counts_at(t), reference_counts)
+            for n, members in enumerate(reference_members):
+                np.testing.assert_array_equal(trace.devices_at(t, n), members)
+
+    def test_cached_arrays_are_frozen(self):
+        trace = simple_trace()
+        members = trace.devices_at(0, 0)
+        counts = trace.counts_at(0)
+        assert not members.flags.writeable
+        assert not counts.flags.writeable
+        with pytest.raises(ValueError):
+            members[0] = 99
+
+    def test_index_cache_bounded_by_num_steps(self):
+        trace = simple_trace()
+        for t in range(10 * trace.num_steps):
+            trace.devices_at(t, 0)
+        assert len(trace._membership) == trace.num_steps
+
+    def test_assignment_row_matches_assignments(self):
+        trace = simple_trace()
+        np.testing.assert_array_equal(trace.assignment_row(1), trace.assignments[1])
+        np.testing.assert_array_equal(
+            trace.assignment_row(trace.num_steps + 1), trace.assignments[1]
+        )
+
+
+class TestVectorizedValidate:
+    def test_error_message_matches_original_format(self):
+        trace = simple_trace()
+        trace.assignments[1, 2] = 99  # corrupt post-construction
+        with pytest.raises(AssertionError, match=r"step 1: some device is in != 1 edge"):
+            trace.validate()
+
+    def test_reports_first_bad_step(self):
+        trace = simple_trace()
+        trace.assignments[2, 0] = -1
+        trace.assignments[1, 3] = 77
+        with pytest.raises(AssertionError, match=r"step 1:"):
+            trace.validate()
