@@ -135,6 +135,22 @@ class DeviceExperience:
             return math.inf
         return self._estimate
 
+    def audit_components(self) -> "tuple[float, float, float]":
+        """The latest synced ``(empirical, bonus, estimate)`` decomposition.
+
+        ``empirical`` is the Eq. (15) exploitation term at the last
+        sync (0.0 before any sync), ``bonus`` the exploration term
+        (recovered exactly as ``estimate − empirical`` since the sync
+        computed ``estimate = empirical + bonus``; infinite while the
+        device was never estimated), ``estimate`` the G̃²_m the edge
+        strategy consumes.  Read-only — used by the MACH decision audit
+        trail (:mod:`repro.obs.audit`).
+        """
+        empirical = self._exploit if self._exploit is not None else 0.0
+        estimate = self.estimate
+        bonus = estimate - empirical if math.isfinite(estimate) else math.inf
+        return empirical, bonus, estimate
+
     def state_dict(self) -> dict:
         """JSON-compatible snapshot of the Algorithm-2 state."""
         return {
@@ -187,6 +203,25 @@ class ExperienceTracker:
     def estimates(self, device_indices: Sequence[int]) -> np.ndarray:
         """Current G̃²_m for the requested devices (inf ⇒ never estimated)."""
         return np.array([self._get(m).estimate for m in device_indices])
+
+    def audit_components(
+        self, device_indices: Sequence[int]
+    ) -> Dict[str, List[float]]:
+        """Per-device UCB decomposition for the requested devices.
+
+        Returns aligned ``empirical`` / ``bonus`` / ``estimate`` lists —
+        the audit-trail view of :meth:`estimates` (see
+        :meth:`DeviceExperience.audit_components`).
+        """
+        empirical: List[float] = []
+        bonus: List[float] = []
+        estimate: List[float] = []
+        for m in device_indices:
+            e, b, g = self._get(m).audit_components()
+            empirical.append(e)
+            bonus.append(b)
+            estimate.append(g)
+        return {"empirical": empirical, "bonus": bonus, "estimate": estimate}
 
     def participation_counts(self) -> np.ndarray:
         """Per-device total participation counts (diagnostics)."""

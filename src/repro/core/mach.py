@@ -101,6 +101,10 @@ class MACHSampler(Sampler):
         """Algorithm 2 lines 2–4: refresh every G̃²_m, clear buffers."""
         self.tracker.sync_all(t)
 
+    def audit_components(self, device_indices) -> dict:
+        """Eq. (15) decomposition per candidate, for the audit trail."""
+        return self.tracker.audit_components(list(device_indices))
+
     def state_dict(self) -> dict:
         return {"tracker": self.tracker.state_dict()}
 

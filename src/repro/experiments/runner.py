@@ -117,11 +117,13 @@ def run_single(
     stop_at_target: bool = False,
     telemetry=None,
     resume_from=None,
+    obs=None,
 ) -> TrainingResult:
     """Run one sampler on one freshly built scenario instance.
 
     ``resume_from`` (a checkpoint path or
-    :class:`~repro.faults.TrainerCheckpoint`) continues a killed run.
+    :class:`~repro.faults.TrainerCheckpoint`) continues a killed run;
+    ``obs`` attaches a :class:`repro.obs.Observability` handle.
     """
     seed = config.seed if seed is None else seed
     devices, test, trace, model_factory = build_scenario(config, seed)
@@ -133,6 +135,7 @@ def run_single(
         config=hfl_config_for(config, seed),
         test_dataset=test,
         telemetry=telemetry,
+        obs=obs,
     )
     with trainer:
         return trainer.run(
@@ -293,13 +296,128 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", default=None, metavar="PATH",
         help="resume a killed run from the checkpoint at PATH",
     )
+    obs_group = parser.add_argument_group("observability")
+    obs_group.add_argument(
+        "--log-jsonl", default=None, metavar="PATH",
+        help="write the structured JSONL event log (manifest + typed "
+             "round/fault/sync/sampling/checkpoint/eval events) to PATH; "
+             "also enables the MACH decision audit trail",
+    )
+    obs_group.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the span trace (cloud_step → edge_round → "
+             "device_update hierarchy) as JSONL to PATH",
+    )
+    obs_group.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the metrics registry as JSON to PATH and as "
+             "Prometheus text to PATH with a .prom suffix",
+    )
+    obs_group.add_argument(
+        "--obs-off", action="store_true",
+        help="force observability off even when sink paths are given "
+             "(for A/B bit-identity checks)",
+    )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "--log-level", default="info", choices=("quiet", "info", "debug"),
+        help="console verbosity: quiet silences the summary prints, "
+             "debug adds the phase-timing table (default: info)",
+    )
+    verbosity.add_argument(
+        "--quiet", action="store_true",
+        help="shorthand for --log-level quiet (for CI and sweep scripts)",
+    )
     return parser
+
+
+def _scenario_manifest(config: ScenarioConfig) -> Dict[str, object]:
+    """A JSON-safe dump of the scenario config for the run manifest."""
+    from dataclasses import asdict
+
+    return {
+        k: v
+        for k, v in asdict(config).items()
+        if isinstance(v, (bool, int, float, str)) or v is None
+    }
+
+
+def _build_observability(args, config: ScenarioConfig):
+    """Construct the CLI run's :class:`repro.obs.Observability`, or None.
+
+    Each sink is enabled only by its own flag, so ``--trace-out`` alone
+    pays no event-log or metrics cost; ``--log-jsonl`` also turns on the
+    MACH audit trail, which mirrors its decisions into the log as
+    ``sampling`` events.
+    """
+    if args.obs_off:
+        return None
+    if not (args.log_jsonl or args.trace_out or args.metrics_out):
+        return None
+    from repro.faults import make_fault_model, resolve_fault_profile
+    from repro.obs import (
+        EventLog,
+        MACHAuditTrail,
+        MetricsRegistry,
+        Observability,
+        SpanTracer,
+        build_manifest,
+    )
+
+    events = None
+    if args.log_jsonl:
+        events = EventLog(args.log_jsonl)
+        fault_model = make_fault_model(resolve_fault_profile(config.fault_profile))
+        events.write_manifest(
+            build_manifest(
+                seed=config.seed,
+                sampler=args.sampler,
+                num_steps=config.num_steps,
+                config=_scenario_manifest(config),
+                fault_profile=(
+                    fault_model.describe() if fault_model is not None else None
+                ),
+                extra={"preset": args.preset, "executor": config.executor},
+            )
+        )
+    return Observability(
+        events=events,
+        tracer=SpanTracer() if args.trace_out else None,
+        metrics=MetricsRegistry() if args.metrics_out else None,
+        audit=MACHAuditTrail(event_log=events) if events is not None else None,
+    )
+
+
+def _write_obs_outputs(args, obs, echo) -> None:
+    """Flush file-backed sinks and write the trace/metrics snapshots."""
+    if obs is None:
+        return
+    from pathlib import Path
+
+    if obs.events is not None:
+        echo(f"event log: {args.log_jsonl} ({obs.events.num_events} events)")
+    if args.trace_out and obs.tracer.enabled:
+        obs.tracer.write_jsonl(args.trace_out)
+        echo(f"trace: {args.trace_out} ({len(obs.tracer.to_list())} spans)")
+    if args.metrics_out and obs.metrics is not None:
+        obs.metrics.write_json(args.metrics_out)
+        prom_path = Path(args.metrics_out).with_suffix(".prom")
+        obs.metrics.write_prometheus(prom_path)
+        echo(f"metrics: {args.metrics_out} + {prom_path}")
+    obs.close()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     from repro.experiments.config import PRESETS
 
     args = build_parser().parse_args(argv)
+    level = "quiet" if args.quiet else args.log_level
+    verbosity = {"quiet": 0, "info": 1, "debug": 2}[level]
+
+    def echo(message: str, min_level: int = 1) -> None:
+        if verbosity >= min_level:
+            print(message)
+
     config = PRESETS[args.preset]
     overrides = {"executor": args.executor, "num_workers": args.num_workers}
     if args.steps is not None:
@@ -313,8 +431,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides["checkpoint_path"] = args.checkpoint_path or "checkpoint.json"
     config = config.with_overrides(**overrides)
 
+    obs = _build_observability(args, config)
+
     telemetry = None
-    if args.fault_profile is not None:
+    if obs is not None:
+        telemetry = obs.telemetry_recorder()
+    elif args.fault_profile is not None:
         from repro.hfl.telemetry import TelemetryRecorder
 
         telemetry = TelemetryRecorder()
@@ -326,6 +448,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         stop_at_target=args.stop_at_target,
         telemetry=telemetry,
         resume_from=args.resume,
+        obs=obs,
     )
     elapsed = time.perf_counter() - start
 
@@ -334,29 +457,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         if result.reached_target_at is not None
         else f"target {config.target_accuracy:.2f} not reached"
     )
-    print(
+    echo(
         f"preset={args.preset} sampler={result.sampler_name} "
         f"executor={args.executor} workers={args.num_workers or 'auto'}"
     )
-    print(
+    echo(
         f"steps={result.steps_run} final_acc={result.history.final_accuracy():.3f} "
         f"best_acc={result.history.best_accuracy():.3f} "
         f"mean_participants={result.mean_participants_per_step:.2f}"
     )
-    print(f"{reached}; wall-clock {elapsed:.2f}s")
-    if telemetry is not None:
+    echo(f"{reached}; wall-clock {elapsed:.2f}s")
+    if telemetry is not None and args.fault_profile is not None:
         summary = telemetry.fault_summary()
         faults = (
             " ".join(f"{k}={v}" for k, v in sorted(summary.items()))
             if summary
             else "none"
         )
-        print(
+        echo(
             f"faults: {faults}; degraded_rounds={len(telemetry.degraded_rounds)} "
             f"lost_rounds={telemetry.lost_round_count()} "
             f"stale_syncs={telemetry.stale_sync_count()} "
             f"sim_backoff={telemetry.simulated_backoff_seconds():.1f}s"
         )
+    if telemetry is not None and verbosity >= 2:
+        for phase, row in telemetry.phase_summary().items():
+            echo(
+                f"phase {phase:<12} {row['seconds']:.3f}s "
+                f"({row['share']:.0%}, {row['calls']:.0f} calls)",
+                min_level=2,
+            )
+    _write_obs_outputs(args, obs, lambda m: echo(m, min_level=2))
     return 0
 
 

@@ -46,6 +46,15 @@ class FaultModel(ABC):
 
     name: str = "faults"
 
+    def describe(self) -> dict:
+        """JSON-compatible description for the run manifest.
+
+        The observability event log records this in its header so an
+        archived run is self-describing: which fault model ran, with
+        which knobs.  Subclasses should extend the base payload.
+        """
+        return {"name": self.name}
+
     def bind(self, num_devices: int, seeds: SeedSequenceFactory) -> None:
         """Attach the population size and the trainer's seed factory.
 
@@ -95,6 +104,11 @@ class SeededFaultModel(FaultModel):
         self.profile = profile
         self._seeds: Optional[SeedSequenceFactory] = None
         self._latency: Optional[LatencySimulator] = None
+
+    def describe(self) -> dict:
+        from dataclasses import asdict
+
+        return {"name": self.name, "profile": asdict(self.profile)}
 
     def bind(self, num_devices: int, seeds: SeedSequenceFactory) -> None:
         # A child factory keeps fault streams disjoint from every engine

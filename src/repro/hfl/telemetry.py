@@ -317,7 +317,15 @@ class TelemetryRecorder:
         }
 
     def load_state_dict(self, state: dict) -> None:
-        """Restore :meth:`state_dict` output, replacing current contents."""
+        """Restore :meth:`state_dict` output, replacing current contents.
+
+        Phase timings are cleared too: they are excluded from
+        :meth:`state_dict` (host observability, not run state), so a
+        recorder reused across a resume must not report the pre-restore
+        accumulations as if they belonged to the restored run.
+        """
+        self.phase_seconds = {}
+        self.phase_calls = {}
         self.records = [EdgeRoundRecord(**r) for r in state.get("records", [])]
         self._participation = {
             int(k): int(v) for k, v in state.get("participation", {}).items()

@@ -112,6 +112,13 @@ class HFLTrainer:
     (no model when the profile is absent or inactive); a ready
     :class:`~repro.faults.FaultModel` instance is used as-is (tests
     inject deterministic stubs this way).
+
+    ``obs`` attaches a :class:`repro.obs.Observability` handle (event
+    log, span tracer, metrics registry, MACH audit trail — any subset).
+    Every sink is a pure observer: nothing it records feeds an RNG
+    stream, model/sampler state or a ``state_dict``, so an obs-enabled
+    run is bit-identical to an obs-disabled one on every executor
+    backend and under kill/resume.
     """
 
     def __init__(
@@ -125,6 +132,7 @@ class HFLTrainer:
         telemetry: Optional["TelemetryRecorder"] = None,
         executor: Optional[Union[str, Executor]] = None,
         fault_model: Optional[FaultModel] = None,
+        obs=None,
     ) -> None:
         if len(device_datasets) != trace.num_devices:
             raise ValueError(
@@ -192,6 +200,33 @@ class HFLTrainer:
             WorkerContext(self.model, self.devices, config.seed)
         )
 
+        # Observability sinks.  Imported lazily: repro.obs sits above
+        # repro.hfl in the dependency order (its bridge subclasses the
+        # telemetry recorder), so a module-level import would cycle.
+        from repro.obs.tracing import NULL_TRACER
+
+        self._obs = obs
+        self._tracer = obs.tracer if obs is not None else NULL_TRACER
+        self._events = obs.events if obs is not None else None
+        self._audit = obs.audit if obs is not None else None
+        self._metrics = obs.metrics if obs is not None else None
+        if self._tracer.enabled:
+            # Worker-side per-item timings feed the device-update spans.
+            self.executor.enable_worker_timings()
+        if self._metrics is not None:
+            self._steps_counter = self._metrics.counter(
+                "repro_steps_total", "Completed HFL time steps"
+            )
+            self._checkpoint_counter = self._metrics.counter(
+                "repro_checkpoints_total", "Resumable checkpoints written"
+            )
+            self._accuracy_gauge = self._metrics.gauge(
+                "repro_eval_accuracy", "Latest global-model test accuracy"
+            )
+            self._loss_gauge = self._metrics.gauge(
+                "repro_eval_loss", "Latest global-model test loss"
+            )
+
         # Run-progress state, mutated by run() and snapshot by checkpoints.
         self._history = TrainingHistory()
         self._participation_counts = np.zeros(trace.num_devices, dtype=int)
@@ -239,6 +274,18 @@ class HFLTrainer:
             probabilities,
             rng=self._seeds.round_generator(t, edge.edge_id, "participation"),
         )
+        if self._audit is not None:
+            # Decision audit: candidate scores, probabilities and the
+            # drawn indicators, recorded after the draw so the trail
+            # observes the round without touching its random stream.
+            self._audit.record_round(
+                t,
+                edge.edge_id,
+                members,
+                probabilities,
+                indicators,
+                components=self.sampler.audit_components(members),
+            )
         items = tuple(
             LocalUpdateItem(
                 step=t,
@@ -355,25 +402,62 @@ class HFLTrainer:
 
         Phase wall-times (plan / execute / finish) land in the attached
         telemetry recorder; the clock reads cost nanoseconds, so they
-        are taken unconditionally to keep one code path.
+        are taken unconditionally to keep one code path.  The span
+        tracer (a no-op unless observability is on) mirrors the phases
+        and hangs the worker-attributed edge-round / device-update
+        hierarchy under the execute span.
         """
         clock = time.perf_counter
+        tracer = self._tracer
         t0 = clock()
-        pending = [self._plan_round(t, edge) for edge in self.edges]
-        active = [p for p in pending if p is not None]
+        with tracer.span("plan"):
+            pending = [self._plan_round(t, edge) for edge in self.edges]
+            active = [p for p in pending if p is not None]
         t1 = clock()
-        step_results = self.executor.run_step([p.plan for p in active])
+        with tracer.span("execute"):
+            step_results = self.executor.run_step([p.plan for p in active])
+            if tracer.enabled:
+                self._trace_worker_timings()
         t2 = clock()
-        total = sum(
-            self._finish_round(t, p, results)
-            for p, results in zip(active, step_results)
-        )
+        with tracer.span("finish"):
+            total = sum(
+                self._finish_round(t, p, results)
+                for p, results in zip(active, step_results)
+            )
         if self.telemetry is not None:
             t3 = clock()
             self.telemetry.record_phase("plan", t1 - t0)
             self.telemetry.record_phase("execute", t2 - t1)
             self.telemetry.record_phase("finish", t3 - t2)
         return total
+
+    def _trace_worker_timings(self) -> None:
+        """Synthesize edge-round → device-update spans from the executor's
+        per-item worker timings (attributed to the worker that ran each
+        item, durations from the worker's own monotonic clock)."""
+        timings = self.executor.drain_worker_timings()
+        if not timings:
+            return
+        by_edge: Dict[int, list] = {}
+        for wt in timings:
+            by_edge.setdefault(wt.edge, []).append(wt)
+        tracer = self._tracer
+        for edge_id in sorted(by_edge):
+            edge_timings = by_edge[edge_id]
+            edge_span = tracer.add_span(
+                "edge_round",
+                sum(wt.seconds for wt in edge_timings),
+                edge=edge_id,
+                devices=len(edge_timings),
+            )
+            for wt in edge_timings:
+                tracer.add_span(
+                    "device_update",
+                    wt.seconds,
+                    parent_id=edge_span,
+                    device=wt.device,
+                    worker=wt.worker,
+                )
 
     def _sync_to_cloud(self, t: int) -> None:
         """Edge→cloud aggregation and broadcast (Algorithm 1 lines 12–13).
@@ -501,7 +585,16 @@ class HFLTrainer:
         every = self.config.checkpoint_every
         if every is None or steps_completed % every != 0:
             return
-        self.make_checkpoint(steps_completed).save(self.config.checkpoint_path)
+        with self._tracer.span("checkpoint", step=steps_completed):
+            self.make_checkpoint(steps_completed).save(self.config.checkpoint_path)
+        if self._events is not None:
+            self._events.emit(
+                "checkpoint",
+                step=steps_completed,
+                path=str(self.config.checkpoint_path),
+            )
+        if self._metrics is not None:
+            self._checkpoint_counter.inc()
 
     # ------------------------------------------------------------------
 
@@ -540,39 +633,66 @@ class HFLTrainer:
         history = self._history
         eval_interval = self.config.effective_eval_interval
 
+        if self._events is not None:
+            self._events.emit(
+                "run_start",
+                seed=self.config.seed,
+                sampler=self.sampler.name,
+                executor=self.executor.name,
+                num_steps=num_steps,
+                start_step=start_step,
+                sync_interval=self.config.sync_interval,
+                eval_interval=eval_interval,
+                resumed=resume_from is not None,
+            )
+
         clock = time.perf_counter
+        tracer = self._tracer
         steps_run = start_step
         for t in range(start_step, num_steps):
-            self._total_participants += self._train_step(t)
+            with tracer.span("cloud_step", t=t):
+                self._total_participants += self._train_step(t)
 
-            if t % self.config.sync_interval == 0:
-                t0 = clock()
-                self._sync_to_cloud(t)
-                if self.telemetry is not None:
-                    self.telemetry.record_phase("sync", clock() - t0)
+                if t % self.config.sync_interval == 0:
+                    t0 = clock()
+                    with tracer.span("sync"):
+                        self._sync_to_cloud(t)
+                    if self.telemetry is not None:
+                        self.telemetry.record_phase("sync", clock() - t0)
 
-            steps_run = t + 1
-            if steps_run % eval_interval == 0 or steps_run == num_steps:
-                t0 = clock()
-                self.model.set_flat(self._virtual_global(t))
-                # One fused pass over the test set yields both metrics
-                # (bit-identical to the separate accuracy/loss passes).
-                accuracy, loss = evaluate(self.model, self.test_dataset)
-                if self.telemetry is not None:
-                    self.telemetry.record_phase("eval", clock() - t0)
-                history.record(steps_run, accuracy, loss)
-                if (
-                    target_accuracy is not None
-                    and self._reached_at is None
-                    and accuracy >= target_accuracy
-                ):
-                    self._reached_at = steps_run
-                    if stop_at_target:
-                        self._maybe_write_checkpoint(steps_run)
-                        break
-            self._maybe_write_checkpoint(steps_run)
+                steps_run = t + 1
+                if self._metrics is not None:
+                    self._steps_counter.inc()
+                if steps_run % eval_interval == 0 or steps_run == num_steps:
+                    t0 = clock()
+                    with tracer.span("eval"):
+                        self.model.set_flat(self._virtual_global(t))
+                        # One fused pass over the test set yields both
+                        # metrics (bit-identical to the separate
+                        # accuracy/loss passes).
+                        accuracy, loss = evaluate(self.model, self.test_dataset)
+                    if self.telemetry is not None:
+                        self.telemetry.record_phase("eval", clock() - t0)
+                    history.record(steps_run, accuracy, loss)
+                    if self._events is not None:
+                        self._events.emit(
+                            "eval", step=steps_run, accuracy=accuracy, loss=loss
+                        )
+                    if self._metrics is not None:
+                        self._accuracy_gauge.set(accuracy)
+                        self._loss_gauge.set(loss)
+                    if (
+                        target_accuracy is not None
+                        and self._reached_at is None
+                        and accuracy >= target_accuracy
+                    ):
+                        self._reached_at = steps_run
+                        if stop_at_target:
+                            self._maybe_write_checkpoint(steps_run)
+                            break
+                self._maybe_write_checkpoint(steps_run)
 
-        return TrainingResult(
+        result = TrainingResult(
             sampler_name=self.sampler.name,
             history=history,
             steps_run=steps_run,
@@ -580,3 +700,14 @@ class HFLTrainer:
             mean_participants_per_step=self._total_participants / steps_run,
             reached_target_at=self._reached_at,
         )
+        if self._events is not None:
+            self._events.emit(
+                "run_end",
+                steps_run=steps_run,
+                final_accuracy=history.final_accuracy(),
+                best_accuracy=history.best_accuracy(),
+                reached_target_at=self._reached_at,
+                mean_participants_per_step=result.mean_participants_per_step,
+            )
+            self._events.flush()
+        return result

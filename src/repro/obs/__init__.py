@@ -1,0 +1,128 @@
+"""repro.obs — first-class observability for the HFL engine.
+
+Four sinks, composable through one :class:`Observability` handle:
+
+- **event log** (:mod:`repro.obs.events`): append-only JSONL with a run
+  manifest header and typed round / fault / sync / checkpoint / eval
+  events, reconstructible into a
+  :class:`~repro.hfl.telemetry.TelemetryRecorder`;
+- **span tracer** (:mod:`repro.obs.tracing`): monotonic-clock
+  cloud-step → edge-round → device-update hierarchy with per-worker
+  attribution, zero-cost no-op when disabled;
+- **metrics registry** (:mod:`repro.obs.metrics`): counters, gauges and
+  fixed-bucket histograms, exportable as JSON and Prometheus text;
+- **MACH audit trail** (:mod:`repro.obs.audit`): per-(step, edge)
+  candidate-level UCB terms, probabilities and indicators —
+  seed-replayable offline.
+
+Determinism contract: every sink observes, none participates.  No obs
+code path reads or advances an engine RNG stream, mutates model or
+sampler state, or contributes to any ``state_dict`` — so an obs-enabled
+run is bit-identical to an obs-disabled one on every executor backend,
+and kill/resume replay is unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.audit import MACHAuditTrail, SamplingDecision
+from repro.obs.bridge import ObservedTelemetryRecorder
+from repro.obs.events import (
+    EventLog,
+    build_manifest,
+    read_events,
+    replay_telemetry,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import NULL_TRACER, NullTracer, Span, SpanTracer
+
+__all__ = [
+    "Observability",
+    "EventLog",
+    "build_manifest",
+    "read_events",
+    "replay_telemetry",
+    "SpanTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MACHAuditTrail",
+    "SamplingDecision",
+    "ObservedTelemetryRecorder",
+]
+
+
+class Observability:
+    """The run's observability sinks, bundled for the trainer.
+
+    Any subset may be active; absent sinks cost one ``is None`` check at
+    each instrumentation point.  The tracer is never ``None`` — when
+    tracing is off it is the shared :data:`NULL_TRACER` whose spans are
+    no-ops.
+
+    Construction shortcuts::
+
+        obs = Observability.enabled()                  # all in-memory sinks
+        obs = Observability(events=EventLog("run.jsonl"),
+                            tracer=SpanTracer())       # pick and choose
+    """
+
+    def __init__(
+        self,
+        events: Optional[EventLog] = None,
+        tracer: Optional[SpanTracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        audit: Optional[MACHAuditTrail] = None,
+    ) -> None:
+        self.events = events
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.audit = audit
+
+    @classmethod
+    def enabled(cls, events: Optional[EventLog] = None) -> "Observability":
+        """Every sink on: tracer + metrics + audit (+ optional event log).
+
+        The audit trail mirrors into the event log when one is given, so
+        the on-disk ``sampling`` events always match the in-memory trail.
+        """
+        return cls(
+            events=events,
+            tracer=SpanTracer(),
+            metrics=MetricsRegistry(),
+            audit=MACHAuditTrail(event_log=events),
+        )
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """An explicit all-off handle (equivalent to passing no obs)."""
+        return cls()
+
+    @property
+    def active(self) -> bool:
+        """Whether any sink would record anything."""
+        return (
+            self.events is not None
+            or self.tracer.enabled
+            or self.metrics is not None
+            or self.audit is not None
+        )
+
+    def telemetry_recorder(self) -> ObservedTelemetryRecorder:
+        """A telemetry recorder whose hooks mirror into these sinks."""
+        return ObservedTelemetryRecorder(self)
+
+    def close(self) -> None:
+        """Flush and close the owned file-backed sinks (idempotent)."""
+        if self.events is not None:
+            self.events.close()

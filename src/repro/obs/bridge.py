@@ -1,0 +1,166 @@
+"""Bridge from the existing telemetry hooks into the obs sinks.
+
+:class:`ObservedTelemetryRecorder` is a drop-in
+:class:`~repro.hfl.telemetry.TelemetryRecorder`: the trainer calls the
+same hooks, the in-memory state (and therefore ``state_dict`` and every
+summary) is bit-identical to the plain recorder's — and each hook
+additionally fans out to the run's :class:`~repro.obs.events.EventLog`
+and :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Keeping the fan-out *here* rather than in the trainer means every
+engine call site that already reports telemetry (rounds, faults, sync
+attempts, phase timings) feeds the event log for free, and the trainer
+only emits the events the recorder never sees (eval, checkpoint,
+run_start/run_end, spans).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+from repro.hfl.telemetry import TelemetryRecorder
+from repro.obs.metrics import PARTICIPANTS_BUCKETS, PHASE_SECONDS_BUCKETS
+
+__all__ = ["ObservedTelemetryRecorder"]
+
+
+class ObservedTelemetryRecorder(TelemetryRecorder):
+    """A telemetry recorder that mirrors every hook into the obs sinks."""
+
+    def __init__(self, obs) -> None:
+        super().__init__()
+        self._obs = obs
+        metrics = obs.metrics
+        if metrics is not None:
+            self._rounds_total = metrics.counter(
+                "repro_rounds_total", "Finished (step, edge) training rounds"
+            )
+            self._participants_total = metrics.counter(
+                "repro_participants_total",
+                "Device uploads that reached aggregation",
+            )
+            self._round_participants = metrics.histogram(
+                "repro_round_participants",
+                "Surviving participants per round",
+                buckets=PARTICIPANTS_BUCKETS,
+            )
+            self._faults_total = metrics.counter(
+                "repro_faults_total", "Injected faults by kind"
+            )
+            self._degraded_total = metrics.counter(
+                "repro_degraded_rounds_total",
+                "Rounds that lost at least one sampled upload",
+            )
+            self._lost_total = metrics.counter(
+                "repro_lost_rounds_total",
+                "Rounds that lost every sampled upload",
+            )
+            self._stale_total = metrics.counter(
+                "repro_stale_syncs_total",
+                "Sync steps where an edge fell back to its stale model",
+            )
+            self._backoff_total = metrics.counter(
+                "repro_backoff_seconds_total",
+                "Simulated edge-to-cloud retry backoff",
+            )
+            self._phase_seconds = metrics.histogram(
+                "repro_phase_seconds",
+                "Engine wall-clock per phase call",
+                buckets=PHASE_SECONDS_BUCKETS,
+            )
+
+    # -- mirrored hooks ------------------------------------------------------
+
+    def record_round(
+        self,
+        t: int,
+        edge: int,
+        members: np.ndarray,
+        probabilities: np.ndarray,
+        participant_ids: List[int],
+        grad_sq_norms: List[float],
+        losses: List[float],
+    ) -> None:
+        super().record_round(
+            t, edge, members, probabilities, participant_ids,
+            grad_sq_norms, losses,
+        )
+        record = self.records[-1]
+        events = self._obs.events
+        if events is not None:
+            events.emit(
+                "round",
+                t=record.t,
+                edge=record.edge,
+                num_members=record.num_members,
+                participants=[int(m) for m in participant_ids],
+                prob_sum=record.prob_sum,
+                prob_max=record.prob_max,
+                prob_min=record.prob_min,
+                mean_grad_sq_norm=record.mean_grad_sq_norm,
+                mean_loss=record.mean_loss,
+            )
+        if self._obs.metrics is not None:
+            self._rounds_total.inc(edge=str(edge))
+            self._participants_total.inc(len(participant_ids))
+            self._round_participants.observe(len(participant_ids))
+
+    def record_faults(
+        self, t: int, edge: int, failures: Mapping[int, str], num_sampled: int
+    ) -> None:
+        super().record_faults(t, edge, failures, num_sampled)
+        if not failures:
+            return
+        events = self._obs.events
+        if events is not None:
+            events.emit(
+                "fault",
+                t=t,
+                edge=edge,
+                num_sampled=num_sampled,
+                failures={str(device): kind for device, kind in failures.items()},
+            )
+        if self._obs.metrics is not None:
+            by_kind: Dict[str, int] = {}
+            for kind in failures.values():
+                by_kind[kind] = by_kind.get(kind, 0) + 1
+            for kind, count in by_kind.items():
+                self._faults_total.inc(count, kind=kind)
+            self._degraded_total.inc()
+            if len(failures) == num_sampled:
+                self._lost_total.inc()
+
+    def record_sync_attempt(
+        self,
+        t: int,
+        edge: int,
+        failed_attempts: int,
+        used_stale: bool,
+        backoff_seconds: float,
+    ) -> None:
+        super().record_sync_attempt(
+            t, edge, failed_attempts, used_stale, backoff_seconds
+        )
+        events = self._obs.events
+        if events is not None:
+            events.emit(
+                "sync_attempt",
+                t=t,
+                edge=edge,
+                failed_attempts=failed_attempts,
+                used_stale=used_stale,
+                backoff_seconds=backoff_seconds,
+            )
+        if self._obs.metrics is not None:
+            if failed_attempts > 0:
+                self._faults_total.inc(failed_attempts, kind="sync_failure")
+            if used_stale:
+                self._stale_total.inc()
+            self._backoff_total.inc(backoff_seconds)
+
+    def record_phase(self, phase: str, seconds: float) -> None:
+        super().record_phase(phase, seconds)
+        if self._obs.metrics is not None:
+            self._phase_seconds.observe(seconds, phase=phase)

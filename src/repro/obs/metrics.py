@@ -1,0 +1,322 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` holds named metric *families*; each family
+carries values keyed by a (possibly empty) label set, mirroring the
+Prometheus data model.  Two export formats are supported:
+
+- :meth:`MetricsRegistry.to_json` — a nested JSON-compatible dict for
+  programmatic consumption (tests, dashboards, the runner's
+  ``--metrics-out``);
+- :meth:`MetricsRegistry.render_prometheus` — the Prometheus text
+  exposition format (``# HELP`` / ``# TYPE`` headers, ``_bucket`` /
+  ``_sum`` / ``_count`` series for histograms) for scrape-compatible
+  snapshots.
+
+Histograms use **fixed bucket bounds** chosen at registration, so two
+runs of the same build always export the same series — no dynamic
+bucketing that would make snapshots incomparable.
+
+The registry is pure bookkeeping: it never reads a clock or an RNG, so
+attaching it to a run cannot perturb determinism.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PHASE_SECONDS_BUCKETS",
+    "PARTICIPANTS_BUCKETS",
+]
+
+#: Default bucket bounds (seconds) for engine phase-time histograms:
+#: sub-millisecond bookkeeping through multi-second evaluation passes.
+PHASE_SECONDS_BUCKETS = (
+    0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+#: Default bucket bounds for per-round participant counts.
+PARTICIPANTS_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Family:
+    """Shared bookkeeping of one named metric family."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str) -> None:
+        if not name or not name.replace("_", "").replace(":", "").isalnum():
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+
+    def _header(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+
+class Counter(_Family):
+    """Monotonically increasing per-label-set totals."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str) -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got increment {amount}")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def to_json(self) -> dict:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "values": [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ],
+        }
+
+    def render(self) -> List[str]:
+        lines = self._header()
+        for key, value in sorted(self._values.items()):
+            lines.append(
+                f"{self.name}{_render_labels(key)} {_format_value(value)}"
+            )
+        return lines
+
+
+class Gauge(_Family):
+    """Last-write-wins instantaneous values."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str) -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def value(self, **labels: str) -> Optional[float]:
+        return self._values.get(_label_key(labels))
+
+    def to_json(self) -> dict:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "values": [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ],
+        }
+
+    def render(self) -> List[str]:
+        lines = self._header()
+        for key, value in sorted(self._values.items()):
+            lines.append(
+                f"{self.name}{_render_labels(key)} {_format_value(value)}"
+            )
+        return lines
+
+
+class _HistogramState:
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.bucket_counts = [0] * num_buckets
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Family):
+    """Cumulative-bucket histogram with fixed, registration-time bounds."""
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, help: str, buckets: Sequence[float]
+    ) -> None:
+        super().__init__(name, help)
+        bounds = [float(b) for b in buckets]
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"bucket bounds must strictly increase: {bounds}")
+        if bounds and bounds[-1] == math.inf:
+            bounds = bounds[:-1]
+        #: Finite upper bounds; the +Inf bucket is implicit.
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self._states: Dict[LabelKey, _HistogramState] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = _label_key(labels)
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _HistogramState(len(self.bounds) + 1)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                state.bucket_counts[i] += 1
+                break
+        else:
+            state.bucket_counts[-1] += 1
+        state.total += float(value)
+        state.count += 1
+
+    def snapshot(self, **labels: str) -> Optional[dict]:
+        """Cumulative bucket counts, sum and count for one label set."""
+        state = self._states.get(_label_key(labels))
+        if state is None:
+            return None
+        cumulative: List[int] = []
+        running = 0
+        for c in state.bucket_counts:
+            running += c
+            cumulative.append(running)
+        return {
+            "buckets": {
+                **{
+                    _format_value(b): cumulative[i]
+                    for i, b in enumerate(self.bounds)
+                },
+                "+Inf": cumulative[-1],
+            },
+            "sum": state.total,
+            "count": state.count,
+        }
+
+    def to_json(self) -> dict:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "bounds": list(self.bounds),
+            "values": [
+                {"labels": dict(key), **self.snapshot(**dict(key))}
+                for key in sorted(self._states)
+            ],
+        }
+
+    def render(self) -> List[str]:
+        lines = self._header()
+        for key in sorted(self._states):
+            snap = self.snapshot(**dict(key))
+            for bound, cum in snap["buckets"].items():
+                lines.append(
+                    f"{self.name}_bucket"
+                    f"{_render_labels(key, [('le', bound)])} {cum}"
+                )
+            lines.append(
+                f"{self.name}_sum{_render_labels(key)} "
+                f"{_format_value(snap['sum'])}"
+            )
+            lines.append(f"{self.name}_count{_render_labels(key)} {snap['count']}")
+        return lines
+
+
+class MetricsRegistry:
+    """Registry of metric families, exportable as JSON or Prometheus text."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    def _register(self, family: _Family) -> _Family:
+        existing = self._families.get(family.name)
+        if existing is not None:
+            if type(existing) is not type(family):
+                raise ValueError(
+                    f"metric {family.name!r} already registered as "
+                    f"{existing.kind}"
+                )
+            return existing
+        self._families[family.name] = family
+        return family
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter family ``name`` (idempotent)."""
+        return self._register(Counter(name, help))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge family ``name`` (idempotent)."""
+        return self._register(Gauge(name, help))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = PHASE_SECONDS_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram family ``name`` (idempotent)."""
+        return self._register(Histogram(name, help, buckets))  # type: ignore[return-value]
+
+    def families(self) -> List[str]:
+        return sorted(self._families)
+
+    def get(self, name: str) -> Optional[_Family]:
+        return self._families.get(name)
+
+    # -- export --------------------------------------------------------------
+
+    def to_json(self) -> Dict[str, dict]:
+        """Every family's full state as a JSON-compatible dict."""
+        return {
+            name: family.to_json()
+            for name, family in sorted(self._families.items())
+        }
+
+    def write_json(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format snapshot."""
+        lines: List[str] = []
+        for _name, family in sorted(self._families.items()):
+            lines.extend(family.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_prometheus(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render_prometheus())

@@ -1,0 +1,281 @@
+"""Hierarchical span tracing for the HFL engine.
+
+A :class:`SpanTracer` records wall-clock spans on a monotonic clock
+(:func:`time.perf_counter`) and nests them through an explicit stack, so
+the trainer's instrumentation produces the natural hierarchy
+
+.. code-block:: text
+
+    cloud_step(t)
+    ├── plan
+    ├── execute
+    │   └── edge_round(edge=n)            # synthesized from worker timings
+    │       └── device_update(device=m, worker=...)
+    ├── finish
+    ├── sync                              # on sync steps
+    └── eval                              # on evaluation points
+
+Two kinds of spans exist:
+
+- **live spans** opened with :meth:`SpanTracer.span` (a context manager)
+  or the :meth:`SpanTracer.traced` decorator — start/end read the
+  monotonic clock in the tracing thread;
+- **synthesized spans** added with :meth:`SpanTracer.add_span` from a
+  duration measured elsewhere (a pool worker's own clock).  Their
+  ``start`` is the duration-stacked offset within the parent, which
+  preserves the hierarchy and per-worker attribution without assuming
+  worker clocks share an epoch (marked ``synthesized=True``).
+
+When tracing is disabled the module-level :data:`NULL_TRACER` is used:
+its ``span()`` returns one shared no-op context manager and every other
+method is a no-op, so an un-traced run pays a single attribute load and
+truthiness check per instrumentation point.
+
+Span timestamps are observability, not run state: nothing here feeds
+any RNG or ``state_dict``, so tracing cannot perturb the engine's
+bit-identical determinism contract.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+__all__ = ["Span", "SpanTracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One recorded span: identity, hierarchy, timing and attributes."""
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "start",
+        "duration",
+        "attrs",
+        "synthesized",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        start: float,
+        duration: float,
+        attrs: Dict[str, Any],
+        synthesized: bool = False,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.duration = duration
+        self.attrs = attrs
+        self.synthesized = synthesized
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible record (one line of the trace JSONL)."""
+        record: Dict[str, Any] = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+        }
+        if self.synthesized:
+            record["synthesized"] = True
+        if self.attrs:
+            record.update(self.attrs)
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, "
+            f"duration={self.duration:.6f})"
+        )
+
+
+class _LiveSpan:
+    """Context manager for one open span of a :class:`SpanTracer`."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_start", "_span_id", "_parent_id")
+
+    def __init__(self, tracer: "SpanTracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_LiveSpan":
+        tracer = self._tracer
+        self._parent_id = tracer._stack[-1] if tracer._stack else None
+        self._span_id = tracer._next_id()
+        tracer._stack.append(self._span_id)
+        self._start = tracer._clock()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        tracer = self._tracer
+        end = tracer._clock()
+        tracer._stack.pop()
+        tracer.spans.append(
+            Span(
+                self._span_id,
+                self._parent_id,
+                self._name,
+                self._start - tracer._epoch,
+                end - self._start,
+                self._attrs,
+            )
+        )
+
+    @property
+    def span_id(self) -> int:
+        return self._span_id
+
+
+class SpanTracer:
+    """Collects a hierarchy of wall-clock spans on a monotonic clock."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._stack: List[int] = []
+        self._counter = 0
+        self._clock = time.perf_counter
+        #: All span starts are reported relative to tracer creation, so
+        #: traces from different runs are comparable.
+        self._epoch = self._clock()
+        #: Duration-stacking cursor per parent for synthesized children.
+        self._synth_cursor: Dict[int, float] = {}
+
+    def _next_id(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    @property
+    def current_id(self) -> Optional[int]:
+        """Span id of the innermost open span (None at top level)."""
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str, **attrs: Any) -> _LiveSpan:
+        """Open a live child span of the current span (context manager)."""
+        return _LiveSpan(self, name, attrs)
+
+    def add_span(
+        self,
+        name: str,
+        duration: float,
+        parent_id: Optional[int] = None,
+        **attrs: Any,
+    ) -> Optional[int]:
+        """Record a synthesized span from an externally measured duration.
+
+        ``parent_id`` defaults to the innermost open span.  Synthesized
+        siblings under one parent are laid out back-to-back from the
+        parent's start (worker wall-clocks share no epoch with the
+        tracer, so only durations are trusted).  Returns the span id so
+        callers can hang further children off it.
+        """
+        if duration < 0:
+            raise ValueError(f"span duration must be >= 0, got {duration}")
+        if parent_id is None:
+            parent_id = self.current_id
+        offset = self._synth_cursor.get(parent_id, 0.0) if parent_id else 0.0
+        span_id = self._next_id()
+        self.spans.append(
+            Span(
+                span_id,
+                parent_id,
+                name,
+                offset,
+                duration,
+                attrs,
+                synthesized=True,
+            )
+        )
+        if parent_id is not None:
+            self._synth_cursor[parent_id] = offset + duration
+        return span_id
+
+    def traced(self, name: str, **attrs: Any) -> Callable:
+        """Decorator form of :meth:`span` for whole-function spans."""
+
+        def decorate(fn: Callable) -> Callable:
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(name, **attrs):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # -- export --------------------------------------------------------------
+
+    def to_list(self) -> List[Dict[str, Any]]:
+        """Every recorded span as a JSON-compatible dict, in end order."""
+        return [span.to_dict() for span in self.spans]
+
+    def write_jsonl(self, path: Union[str, Path]) -> None:
+        """Dump the trace as one span-dict per line."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as stream:
+            for span in self.spans:
+                stream.write(json.dumps(span.to_dict()) + "\n")
+
+    def children_of(self, span_id: Optional[int]) -> List[Span]:
+        """Direct children of ``span_id`` (None ⇒ root spans)."""
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    def total_seconds(self, name: str) -> float:
+        """Summed duration of every span with the given name."""
+        return sum(s.duration for s in self.spans if s.name == name)
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+    span_id = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(SpanTracer):
+    """Zero-cost tracer used when tracing is disabled.
+
+    Every instrumentation point degrades to returning a shared no-op
+    context manager; nothing is allocated or recorded.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def add_span(self, name, duration, parent_id=None, **attrs):
+        return None
+
+    def traced(self, name: str, **attrs: Any) -> Callable:
+        def decorate(fn: Callable) -> Callable:
+            return fn
+
+        return decorate
+
+
+#: The process-wide disabled tracer (safe to share: it holds no state).
+NULL_TRACER = NullTracer()

@@ -23,6 +23,7 @@ from repro.runtime.base import (
     EXECUTOR_KINDS,
     Executor,
     WorkerError,
+    WorkerTiming,
     make_executor,
     resolve_num_workers,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "EXECUTOR_KINDS",
     "Executor",
     "WorkerError",
+    "WorkerTiming",
     "make_executor",
     "resolve_num_workers",
     "EdgeRoundPlan",

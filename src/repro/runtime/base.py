@@ -23,12 +23,30 @@ because every work item derives its own named random stream from
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence
+from typing import List, NamedTuple, Optional, Sequence
 
 from repro.runtime.work_items import EdgeRoundPlan, RoundResults, WorkerContext
 
 #: Backend names accepted by :func:`make_executor` and ``HFLConfig.executor``.
 EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+class WorkerTiming(NamedTuple):
+    """Wall-clock attribution of one executed local-update item.
+
+    Collected only when the caller opts in via
+    :meth:`Executor.enable_worker_timings`; ``worker`` names the thread
+    / process (or ``"main"`` for the serial backend) that ran the item,
+    and ``seconds`` is the item's own monotonic-clock duration measured
+    where it ran.  Timings are observability, not results: they never
+    cross into aggregation, RNG streams or checkpoints.
+    """
+
+    step: int
+    edge: int
+    device: int
+    worker: str
+    seconds: float
 
 
 class WorkerError(RuntimeError):
@@ -64,6 +82,8 @@ class Executor(ABC):
 
     def __init__(self) -> None:
         self._context: Optional[WorkerContext] = None
+        self._collect_timings = False
+        self._timings: List[WorkerTiming] = []
 
     def bind(self, context: WorkerContext) -> None:
         """Attach the immutable per-run state all work items share."""
@@ -94,6 +114,27 @@ class Executor(ABC):
         objects inside are fresh every step.  Callers that retain the
         list across steps must copy it.
         """
+
+    # -- worker-timing attribution (observability opt-in) --------------------
+
+    def enable_worker_timings(self) -> None:
+        """Start collecting per-item :class:`WorkerTiming` records.
+
+        Off by default: the reference path pays nothing.  When enabled,
+        each backend measures every item where it executes and the
+        caller drains the records with :meth:`drain_worker_timings`
+        after each :meth:`run_step`.
+        """
+        self._collect_timings = True
+
+    @property
+    def collects_worker_timings(self) -> bool:
+        return self._collect_timings
+
+    def drain_worker_timings(self) -> List[WorkerTiming]:
+        """Return and clear the timings accumulated since the last drain."""
+        timings, self._timings = self._timings, []
+        return timings
 
     def close(self) -> None:
         """Release worker resources (idempotent)."""

@@ -21,13 +21,19 @@ backend is bit-identical to :class:`~repro.runtime.serial.SerialExecutor`.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import Future, ProcessPoolExecutor as _ProcessPool
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.hfl.device import LocalUpdateResult
-from repro.runtime.base import Executor, WorkerError, resolve_num_workers
+from repro.runtime.base import (
+    Executor,
+    WorkerError,
+    WorkerTiming,
+    resolve_num_workers,
+)
 from repro.runtime.work_items import (
     EdgeRoundPlan,
     LocalUpdateItem,
@@ -45,15 +51,36 @@ def _init_worker(context: WorkerContext) -> None:
 
 
 def _run_chunk(
-    start_model: np.ndarray, items: Tuple[LocalUpdateItem, ...]
-) -> List[Tuple[int, LocalUpdateResult]]:
-    """Worker-side entry: run a chunk of one round's items serially."""
+    start_model: np.ndarray,
+    items: Tuple[LocalUpdateItem, ...],
+    timed: bool = False,
+) -> Tuple[List[Tuple[int, LocalUpdateResult]], List[Tuple[int, str, float]]]:
+    """Worker-side entry: run a chunk of one round's items serially.
+
+    Returns the ``(device_id, result)`` pairs plus, when ``timed``, the
+    per-item ``(device_id, worker_name, seconds)`` attributions measured
+    on the worker's own monotonic clock (empty otherwise, so the
+    untimed path ships no extra bytes).
+    """
     if _WORKER_CONTEXT is None:  # pragma: no cover - defensive
         raise RuntimeError("worker pool was not initialized with a context")
-    return [
-        (item.device_id, _WORKER_CONTEXT.run_item(start_model, item))
-        for item in items
-    ]
+    if not timed:
+        return (
+            [
+                (item.device_id, _WORKER_CONTEXT.run_item(start_model, item))
+                for item in items
+            ],
+            [],
+        )
+    worker = multiprocessing.current_process().name
+    clock = time.perf_counter
+    pairs: List[Tuple[int, LocalUpdateResult]] = []
+    timings: List[Tuple[int, str, float]] = []
+    for item in items:
+        start = clock()
+        pairs.append((item.device_id, _WORKER_CONTEXT.run_item(start_model, item)))
+        timings.append((item.device_id, worker, clock() - start))
+    return pairs, timings
 
 
 def _chunk(
@@ -102,18 +129,22 @@ class ProcessExecutor(Executor):
     def run_step(self, plans: Sequence[EdgeRoundPlan]) -> List[RoundResults]:
         self.context  # fail fast before touching the pool
         pool = self._ensure_pool()
+        timed = self._collect_timings
         pending: List[Tuple[int, Future]] = []
         for index, plan in enumerate(plans):
             for chunk in _chunk(plan.items, self.num_workers):
                 if not chunk:
                     continue
                 pending.append(
-                    (index, pool.submit(_run_chunk, plan.start_model, chunk))
+                    (
+                        index,
+                        pool.submit(_run_chunk, plan.start_model, chunk, timed),
+                    )
                 )
         results: List[RoundResults] = [{} for _ in plans]
         for index, future in pending:
             try:
-                chunk_results = future.result()
+                chunk_results, chunk_timings = future.result()
             except Exception as exc:
                 # A worker raised (or the pool broke, orphaning every
                 # future).  Cancel what has not started, tear the pool
@@ -126,6 +157,12 @@ class ProcessExecutor(Executor):
                 raise WorkerError(plan.step, plan.edge, exc) from exc
             for device_id, result in chunk_results:
                 results[index][device_id] = result
+            if chunk_timings:
+                plan = plans[index]
+                self._timings.extend(
+                    WorkerTiming(plan.step, plan.edge, device_id, worker, seconds)
+                    for device_id, worker, seconds in chunk_timings
+                )
         return results
 
     def _shutdown_pool(self) -> None:

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+import time
 from typing import List, Sequence
 
-from repro.runtime.base import Executor
-from repro.runtime.work_items import EdgeRoundPlan, RoundResults
+from repro.runtime.base import Executor, WorkerTiming
+from repro.runtime.work_items import EdgeRoundPlan, RoundResults, WorkerContext
 
 
 class SerialExecutor(Executor):
@@ -33,6 +34,29 @@ class SerialExecutor(Executor):
         context = self.context
         results = self._results
         results.clear()
+        if self._collect_timings:
+            for plan in plans:
+                results.append(self._run_round_timed(context, plan))
+            return results
         for plan in plans:
             results.append(context.run_round(plan))
         return results
+
+    def _run_round_timed(
+        self, context: WorkerContext, plan: EdgeRoundPlan
+    ) -> RoundResults:
+        """Per-item timed variant of ``context.run_round`` (obs opt-in)."""
+        clock = time.perf_counter
+        round_results: RoundResults = {}
+        for item in plan.items:
+            start = clock()
+            round_results[item.device_id] = context.run_item(
+                plan.start_model, item
+            )
+            self._timings.append(
+                WorkerTiming(
+                    item.step, item.edge, item.device_id, "main",
+                    clock() - start,
+                )
+            )
+        return round_results

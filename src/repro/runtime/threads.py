@@ -3,13 +3,14 @@
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor as _ThreadPool
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.hfl.device import LocalUpdateResult
-from repro.runtime.base import Executor, resolve_num_workers
+from repro.runtime.base import Executor, WorkerTiming, resolve_num_workers
 from repro.runtime.work_items import EdgeRoundPlan, LocalUpdateItem, RoundResults
 
 
@@ -55,7 +56,22 @@ class ThreadExecutor(Executor):
         if context is None:
             context = self.context.clone()
             self._thread_local.context = context
-        return context.run_item(start_model, item)
+        if not self._collect_timings:
+            return context.run_item(start_model, item)
+        start = time.perf_counter()
+        result = context.run_item(start_model, item)
+        # list.append is atomic under the GIL — no lock needed for the
+        # shared timing buffer.
+        self._timings.append(
+            WorkerTiming(
+                item.step,
+                item.edge,
+                item.device_id,
+                threading.current_thread().name,
+                time.perf_counter() - start,
+            )
+        )
+        return result
 
     def run_step(self, plans: Sequence[EdgeRoundPlan]) -> List[RoundResults]:
         self.context  # fail fast before touching the pool

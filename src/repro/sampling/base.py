@@ -91,6 +91,20 @@ class Sampler(ABC):
     def observe_oracle(self, t: int, device: int, grad_sq_norm: float) -> None:
         """Oracle feedback (only called when ``requires_oracle``)."""
 
+    def audit_components(
+        self, device_indices: Sequence[int]
+    ) -> Optional[dict]:
+        """Per-candidate score decomposition for the decision audit trail.
+
+        UCB-style samplers return aligned ``{"empirical": [...],
+        "bonus": [...], "estimate": [...]}`` lists explaining the scores
+        behind the most recent :meth:`probabilities` call (see
+        :mod:`repro.obs.audit`).  Must be read-only — the trail is an
+        observer, never part of the sampling computation.  Default:
+        ``None`` (the sampler has no score decomposition to expose).
+        """
+        return None
+
     def on_global_sync(self, t: int) -> None:
         """Called at every edge-to-cloud communication step (t mod Tg == 0)."""
 

@@ -51,6 +51,23 @@ class MACHOracleSampler(Sampler):
         estimates = self._true_g_sq[np.asarray(device_indices, dtype=int)]
         return edge_strategy(estimates, capacity, self.config, t=t)
 
+    def audit_components(self, device_indices) -> dict:
+        """Oracle decomposition: the true norms are the whole score.
+
+        MACH-P has no estimator — ``empirical`` equals the consumed
+        estimate and the exploration ``bonus`` is identically zero.
+        """
+        if self._true_g_sq is None:
+            raise RuntimeError("setup() must be called before audit_components()")
+        values = [
+            float(self._true_g_sq[int(m)]) for m in device_indices
+        ]
+        return {
+            "empirical": values,
+            "bonus": [0.0] * len(values),
+            "estimate": values,
+        }
+
     def state_dict(self) -> dict:
         if self._true_g_sq is None:
             return {}

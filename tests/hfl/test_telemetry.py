@@ -163,3 +163,52 @@ class TestTelemetryWithTrainer:
         series = telemetry.loss_series()
         assert len(series) > 0
         assert all(np.isfinite(series))
+
+
+class TestPhaseTimings:
+    def test_phase_summary_empty_recorder(self):
+        assert TelemetryRecorder().phase_summary() == {}
+
+    def test_phase_summary_zero_total_has_zero_shares(self):
+        telemetry = TelemetryRecorder()
+        telemetry.record_phase("plan", 0.0)
+        telemetry.record_phase("execute", 0.0)
+        summary = telemetry.phase_summary()
+        assert set(summary) == {"execute", "plan"}
+        for row in summary.values():
+            assert row["seconds"] == 0.0
+            assert row["share"] == 0.0
+            assert row["calls"] == 1.0
+
+    def test_phase_summary_shares_sum_to_one(self):
+        telemetry = TelemetryRecorder()
+        telemetry.record_phase("plan", 1.0)
+        telemetry.record_phase("plan", 1.0)
+        telemetry.record_phase("execute", 2.0)
+        summary = telemetry.phase_summary()
+        assert summary["plan"]["calls"] == 2.0
+        assert summary["plan"]["seconds"] == pytest.approx(2.0)
+        assert sum(r["share"] for r in summary.values()) == pytest.approx(1.0)
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            TelemetryRecorder().record_phase("plan", -0.5)
+
+    def test_load_state_dict_resets_phase_timings(self):
+        """Phase wall-times are excluded from state_dict, so restoring a
+        snapshot must not leak the recorder's pre-restore accumulations
+        into the resumed run's summary."""
+        source = TelemetryRecorder()
+        source.record_round(
+            1, 0, np.array([0, 1]), np.array([0.5, 0.5]), [0], [1.0], [0.4]
+        )
+        state = source.state_dict()
+        assert "phase_seconds" not in state
+
+        target = TelemetryRecorder()
+        target.record_phase("plan", 3.0)
+        target.load_state_dict(state)
+        assert target.phase_summary() == {}
+        assert target.phase_seconds == {}
+        assert target.phase_calls == {}
+        assert target.state_dict() == state

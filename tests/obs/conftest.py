@@ -1,0 +1,59 @@
+"""Shared helpers for the observability test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.synthetic import make_federated_task
+from repro.hfl.config import HFLConfig
+from repro.hfl.trainer import HFLTrainer
+from repro.mobility.markov import MarkovMobilityModel
+from repro.nn.architectures import build_mlp
+
+
+def build_obs_trainer(
+    sampler,
+    seed=0,
+    num_devices=10,
+    num_edges=3,
+    steps=40,
+    telemetry=None,
+    obs=None,
+    **config_overrides,
+):
+    """A small-but-real trainer (blobs task, Markov trace) with obs hooks."""
+    devices, test = make_federated_task(
+        "blobs",
+        num_devices=num_devices,
+        samples_per_device=30,
+        test_samples=120,
+        rng=seed,
+    )
+    trace = MarkovMobilityModel.stay_or_jump(num_edges, 0.8, rng=seed).sample_trace(
+        steps, num_devices, rng=seed + 1
+    )
+    config = HFLConfig(
+        learning_rate=0.05,
+        local_epochs=4,
+        batch_size=8,
+        sync_interval=5,
+        participation_fraction=0.5,
+        aggregation="fedavg",
+        seed=seed,
+        **config_overrides,
+    )
+    return HFLTrainer(
+        model_factory=lambda rng: build_mlp(16, hidden=(16,), rng=rng),
+        device_datasets=devices,
+        trace=trace,
+        sampler=sampler,
+        config=config,
+        test_dataset=test,
+        telemetry=telemetry,
+        obs=obs,
+    )
+
+
+@pytest.fixture
+def obs_trainer_factory():
+    return build_obs_trainer

@@ -1,0 +1,124 @@
+"""Metrics registry: semantics, labels, JSON and Prometheus export."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = MetricsRegistry().counter("repro_rounds_total", "rounds")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == pytest.approx(3.5)
+
+    def test_labels_partition_the_values(self):
+        c = MetricsRegistry().counter("repro_faults_total")
+        c.inc(kind="dropout")
+        c.inc(3, kind="corruption")
+        assert c.value(kind="dropout") == 1.0
+        assert c.value(kind="corruption") == 3.0
+        assert c.value() == 0.0
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = MetricsRegistry().gauge("repro_eval_accuracy")
+        assert g.value() is None
+        g.set(0.5)
+        g.set(0.7)
+        assert g.value() == pytest.approx(0.7)
+
+
+class TestHistogram:
+    def test_bucketing_is_cumulative_with_implicit_inf(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 5.0))
+        for v in (0.5, 0.9, 3.0, 100.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["buckets"] == {"1": 2, "5": 3, "+Inf": 4}
+        assert snap["sum"] == pytest.approx(104.4)
+        assert snap["count"] == 4
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0,))
+        h.observe(1.0)
+        assert h.snapshot()["buckets"]["1"] == 1
+
+    def test_unordered_bounds_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="strictly increase"):
+            registry.histogram("h", buckets=(5.0, 1.0))
+
+    def test_explicit_inf_bound_is_absorbed(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, math.inf))
+        assert h.bounds == (1.0,)
+
+    def test_missing_label_set_snapshot_is_none(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0,))
+        assert h.snapshot(phase="plan") is None
+
+
+class TestRegistry:
+    def test_registration_is_idempotent_by_name(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_steps_total", "steps")
+        b = registry.counter("repro_steps_total")
+        assert a is b
+        assert registry.families() == ["repro_steps_total"]
+
+    def test_kind_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("m")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            MetricsRegistry().counter("bad name")
+
+    def test_json_export_round_trips_through_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help").inc(2, edge="0")
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        path = tmp_path / "metrics.json"
+        registry.write_json(path)
+        loaded = json.loads(path.read_text())
+        assert loaded == registry.to_json()
+        assert loaded["c_total"]["values"] == [
+            {"labels": {"edge": "0"}, "value": 2.0}
+        ]
+        assert loaded["h"]["values"][0]["count"] == 1
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_rounds_total", "Finished rounds").inc(
+            3, edge="1"
+        )
+        registry.histogram(
+            "repro_phase_seconds", "Phase time", buckets=(0.1, 1.0)
+        ).observe(0.05, phase="plan")
+        text = registry.render_prometheus()
+        lines = text.splitlines()
+        assert "# HELP repro_phase_seconds Phase time" in lines
+        assert "# TYPE repro_phase_seconds histogram" in lines
+        assert "# TYPE repro_rounds_total counter" in lines
+        assert 'repro_rounds_total{edge="1"} 3' in lines
+        assert 'repro_phase_seconds_bucket{phase="plan",le="0.1"} 1' in lines
+        assert 'repro_phase_seconds_bucket{phase="plan",le="+Inf"} 1' in lines
+        assert 'repro_phase_seconds_sum{phase="plan"} 0.05' in lines
+        assert 'repro_phase_seconds_count{phase="plan"} 1' in lines
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""

@@ -1,0 +1,149 @@
+"""Span tracer: hierarchy, synthesized spans, no-op mode, export."""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import NULL_TRACER, NullTracer, SpanTracer
+
+
+class TestLiveSpans:
+    def test_nesting_builds_parent_links(self):
+        tracer = SpanTracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        inner, outer_span = None, None
+        for span in tracer.spans:
+            if span.name == "inner":
+                inner = span
+            else:
+                outer_span = span
+        assert inner.parent_id == outer_span.span_id
+        assert outer_span.parent_id is None
+        assert outer.span_id == outer_span.span_id
+
+    def test_spans_close_in_end_order(self):
+        tracer = SpanTracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert [s.name for s in tracer.spans] == ["b", "a"]
+
+    def test_durations_are_nonnegative_and_nested(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                sum(range(1000))
+        inner = next(s for s in tracer.spans if s.name == "inner")
+        outer = next(s for s in tracer.spans if s.name == "outer")
+        assert 0 <= inner.duration <= outer.duration
+
+    def test_attrs_are_recorded(self):
+        tracer = SpanTracer()
+        with tracer.span("cloud_step", t=7):
+            pass
+        assert tracer.spans[0].attrs == {"t": 7}
+
+    def test_current_id_tracks_the_stack(self):
+        tracer = SpanTracer()
+        assert tracer.current_id is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_id == outer.span_id
+        assert tracer.current_id is None
+
+    def test_exception_still_closes_the_span(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert [s.name for s in tracer.spans] == ["doomed"]
+        assert tracer.current_id is None
+
+    def test_traced_decorator(self):
+        tracer = SpanTracer()
+
+        @tracer.traced("work")
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        assert work.__name__ == "work"
+        assert [s.name for s in tracer.spans] == ["work"]
+
+
+class TestSynthesizedSpans:
+    def test_defaults_to_current_parent(self):
+        tracer = SpanTracer()
+        with tracer.span("execute") as execute:
+            tracer.add_span("device_update", 0.25, device=3)
+        child = next(s for s in tracer.spans if s.name == "device_update")
+        assert child.parent_id == execute.span_id
+        assert child.synthesized
+        assert child.duration == 0.25
+
+    def test_siblings_stack_back_to_back(self):
+        tracer = SpanTracer()
+        with tracer.span("execute"):
+            tracer.add_span("device_update", 0.5)
+            tracer.add_span("device_update", 0.25)
+        starts = [
+            s.start for s in tracer.spans if s.name == "device_update"
+        ]
+        assert starts == [0.0, 0.5]
+
+    def test_explicit_parent_and_grandchildren(self):
+        tracer = SpanTracer()
+        with tracer.span("execute"):
+            edge = tracer.add_span("edge_round", 1.0, edge=0)
+            tracer.add_span("device_update", 0.4, parent_id=edge)
+            tracer.add_span("device_update", 0.6, parent_id=edge)
+        children = tracer.children_of(edge)
+        assert [c.duration for c in children] == [0.4, 0.6]
+        assert [c.start for c in children] == [0.0, 0.4]
+
+    def test_negative_duration_rejected(self):
+        tracer = SpanTracer()
+        with pytest.raises(ValueError, match="duration"):
+            tracer.add_span("bad", -0.1)
+
+
+class TestExport:
+    def test_total_seconds_sums_by_name(self):
+        tracer = SpanTracer()
+        tracer.add_span("x", 1.0)
+        tracer.add_span("x", 2.0)
+        tracer.add_span("y", 5.0)
+        assert tracer.total_seconds("x") == pytest.approx(3.0)
+        assert tracer.total_seconds("missing") == 0.0
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = SpanTracer()
+        with tracer.span("outer", t=1):
+            tracer.add_span("child", 0.5, worker="w0")
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows == tracer.to_list()
+        child = next(r for r in rows if r["name"] == "child")
+        assert child["synthesized"] is True
+        assert child["worker"] == "w0"
+
+
+class TestNullTracer:
+    def test_is_disabled_and_records_nothing(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert not NULL_TRACER.enabled
+        with NULL_TRACER.span("anything", t=1) as span:
+            assert span.span_id is None
+        assert NULL_TRACER.add_span("x", 1.0) is None
+        assert NULL_TRACER.spans == []
+
+    def test_span_is_shared_singleton(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+    def test_traced_returns_function_unchanged(self):
+        def fn():
+            return 42
+
+        assert NULL_TRACER.traced("x")(fn) is fn
