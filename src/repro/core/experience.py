@@ -38,6 +38,7 @@ Other documented deviations: Eq. (15)'s ``log(t)`` is undefined at
 from __future__ import annotations
 
 import math
+from collections.abc import Mapping
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -176,33 +177,228 @@ class DeviceExperience:
         )
 
 
+class DeviceExperienceView:
+    """Read-only per-device window into the tracker's array storage.
+
+    Mirrors the :class:`DeviceExperience` attribute surface (buffer,
+    bests, counts, :meth:`exploration_bonus`, :attr:`estimate`) so
+    diagnostics written against the scalar implementation keep working
+    against the array-backed tracker.  Mutations go through the tracker.
+    """
+
+    __slots__ = ("_tracker", "device_id")
+
+    def __init__(self, tracker: "ExperienceTracker", device_id: int) -> None:
+        self._tracker = tracker
+        self.device_id = device_id
+
+    @property
+    def window(self) -> str:
+        return self._tracker.window
+
+    @property
+    def buffer(self) -> List[float]:
+        t, m = self._tracker, self.device_id
+        return [float(g) for g in t._buffer_data[m][: int(t._buffer_len[m])]]
+
+    @property
+    def window_best(self) -> float:
+        return float(self._tracker._window_best[self.device_id])
+
+    @property
+    def window_participated(self) -> bool:
+        return bool(self._tracker._window_participated[self.device_id])
+
+    @property
+    def lifetime_best(self) -> float:
+        return float(self._tracker._lifetime_best[self.device_id])
+
+    @property
+    def participation_count(self) -> int:
+        return int(self._tracker._participation_count[self.device_id])
+
+    @property
+    def estimate(self) -> float:
+        """Latest synced G̃²_m; infinite before the device is ever estimated."""
+        return float(self._tracker._estimate[self.device_id])
+
+    def exploration_bonus(self, t: int) -> float:
+        """Term B of Eq. (15); infinite when the device was never sampled."""
+        count = self.participation_count
+        if count == 0:
+            return math.inf
+        return math.sqrt(math.log(t + 1) / count)
+
+    def audit_components(self) -> "tuple[float, float, float]":
+        """The latest synced ``(empirical, bonus, estimate)`` decomposition."""
+        components = self._tracker.audit_components([self.device_id])
+        return (
+            components["empirical"][0],
+            components["bonus"][0],
+            components["estimate"][0],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DeviceExperienceView(device_id={self.device_id}, "
+            f"participation_count={self.participation_count})"
+        )
+
+
+class _DeviceViews(Mapping):
+    """Mapping of device id → :class:`DeviceExperienceView`.
+
+    Keeps ``tracker.devices`` usable like the old ``Dict[int,
+    DeviceExperience]``: ``tracker.devices[m]``, iteration over ids,
+    ``len``, ``in`` and ``max`` all behave as before.
+    """
+
+    __slots__ = ("_tracker",)
+
+    def __init__(self, tracker: "ExperienceTracker") -> None:
+        self._tracker = tracker
+
+    def __getitem__(self, device: int) -> DeviceExperienceView:
+        if not 0 <= device < self._tracker.num_devices:
+            raise KeyError(f"unknown device {device}")
+        return DeviceExperienceView(self._tracker, int(device))
+
+    def __iter__(self):
+        return iter(range(self._tracker.num_devices))
+
+    def __len__(self) -> int:
+        return self._tracker.num_devices
+
+
 class ExperienceTracker:
-    """The population of per-device experiences, synced on Algorithm 1's clock."""
+    """The population of per-device experiences, synced on Algorithm 1's clock.
+
+    Array-backed: the per-device Algorithm-2 scalars live in
+    structure-of-arrays numpy storage sized by the explicit device
+    population, so the per-sync refresh (:meth:`sync_all`) and the
+    per-plan reads (:meth:`estimates` / :meth:`audit_components`) are
+    single vectorized ops instead of Python loops over
+    :class:`DeviceExperience` objects.  The public surface, numerical
+    behavior and :meth:`state_dict` JSON schema are unchanged from the
+    scalar implementation (:class:`DeviceExperience` remains the
+    per-device reference twin, tested for exact agreement).
+
+    Two bit-stability choices keep kill/resume and the reference twin
+    exact: the running buffer average is ``np.mean`` over the *full*
+    buffer (pairwise summation over the same values is deterministic,
+    whereas an incremental sum would group additions differently after
+    a checkpoint restore), and :meth:`sync_all` computes ``log(t + 1)``
+    once with ``math.log`` — the same libm call the scalar twin makes —
+    before the vectorized ``sqrt`` / divide (both correctly rounded, so
+    vector and scalar results match bit for bit).
+    """
 
     def __init__(self, num_devices: int, window: str = "recent") -> None:
         check_positive("num_devices", num_devices)
         check_membership("window", window, WINDOW_MODES)
         self.window = window
-        self.devices: Dict[int, DeviceExperience] = {
-            m: DeviceExperience(m, window=window) for m in range(num_devices)
-        }
+        self.num_devices = int(num_devices)
+        n = self.num_devices
+        #: Per-device gradient experience buffers G^t_m (Eq. (14)):
+        #: growable float arrays, valid up to ``_buffer_len[m]``.
+        self._buffer_data: List[np.ndarray] = [np.empty(0) for _ in range(n)]
+        self._buffer_len = np.zeros(n, dtype=int)
+        self._window_best = np.zeros(n)
+        self._window_participated = np.zeros(n, dtype=bool)
+        self._lifetime_best = np.zeros(n)
+        self._participation_count = np.zeros(n, dtype=int)
+        # exploit/estimate carry a "never set" state (None in the JSON
+        # schema): the value arrays pair with has-masks.
+        self._exploit = np.zeros(n)
+        self._has_exploit = np.zeros(n, dtype=bool)
+        self._estimate = np.full(n, math.inf)
+        self._has_estimate = np.zeros(n, dtype=bool)
+
+    @property
+    def devices(self) -> _DeviceViews:
+        """Mapping of device id → read-only per-device experience view."""
+        return _DeviceViews(self)
+
+    def _check_device(self, device: int) -> int:
+        if not 0 <= device < self.num_devices:
+            raise KeyError(f"unknown device {device}")
+        return int(device)
+
+    def _check_indices(self, device_indices: Sequence[int]) -> np.ndarray:
+        idx = np.asarray(device_indices, dtype=int)
+        if idx.size:
+            bad = (idx < 0) | (idx >= self.num_devices)
+            if bad.any():
+                raise KeyError(f"unknown device {int(idx[bad][0])}")
+        return idx
 
     def record(self, device: int, grad_sq_norms: Sequence[float]) -> None:
         """Record one participated step for ``device`` (Eq. (14))."""
-        self._get(device).record(grad_sq_norms)
+        m = self._check_device(device)
+        norms = [float(g) for g in grad_sq_norms]
+        if not norms:
+            raise ValueError("a participated step must report >= 1 gradient norm")
+        if any(g < 0 for g in norms):
+            raise ValueError("squared gradient norms must be non-negative")
+        length = int(self._buffer_len[m])
+        need = length + len(norms)
+        data = self._buffer_data[m]
+        if need > data.size:
+            grown = np.empty(max(need, 2 * data.size, 8))
+            grown[:length] = data[:length]
+            self._buffer_data[m] = data = grown
+        data[length:need] = norms
+        self._buffer_len[m] = need
+        self._participation_count[m] += 1
+        # Full-buffer mean (not an incremental sum): bit-stable across
+        # checkpoint restores — see the class docstring.
+        running_average = float(np.mean(data[:need]))
+        if running_average > self._window_best[m]:
+            self._window_best[m] = running_average
+        self._window_participated[m] = True
+        if running_average > self._lifetime_best[m]:
+            self._lifetime_best[m] = running_average
 
     def record_failure(self, device: int) -> None:
         """Record a sampled-but-failed step for ``device``."""
-        self._get(device).record_failure()
+        m = self._check_device(device)
+        self._participation_count[m] += 1
 
     def sync_all(self, t: int) -> None:
-        """Edge-to-cloud step: refresh every device's UCB estimate."""
-        for exp in self.devices.values():
-            exp.sync(t)
+        """Edge-to-cloud step: refresh every device's UCB estimate.
+
+        One vectorized pass over the population implements Algorithm 2
+        lines 2–4 for all devices (previously a Python loop of
+        :meth:`DeviceExperience.sync` calls — the sync-phase hotspot at
+        scale).
+        """
+        if self.window == "lifetime":
+            exploit = self._lifetime_best.copy()
+        else:
+            # Window best where the device participated; otherwise carry
+            # the previous estimate (0.0 before the first one).
+            exploit = np.where(
+                self._window_participated,
+                self._window_best,
+                np.where(self._has_exploit, self._exploit, 0.0),
+            )
+        bonus = np.full(self.num_devices, math.inf)
+        tried = self._participation_count > 0
+        log_t = math.log(t + 1)
+        bonus[tried] = np.sqrt(log_t / self._participation_count[tried])
+        self._exploit = exploit
+        self._has_exploit[:] = True
+        self._estimate = exploit + bonus
+        self._has_estimate[:] = True
+        # Clear the window: Algorithm 2 line 4.
+        self._buffer_len[:] = 0
+        self._window_best[:] = 0.0
+        self._window_participated[:] = False
 
     def estimates(self, device_indices: Sequence[int]) -> np.ndarray:
         """Current G̃²_m for the requested devices (inf ⇒ never estimated)."""
-        return np.array([self._get(m).estimate for m in device_indices])
+        idx = self._check_indices(device_indices)
+        return self._estimate[idx]
 
     def audit_components(
         self, device_indices: Sequence[int]
@@ -213,32 +409,50 @@ class ExperienceTracker:
         the audit-trail view of :meth:`estimates` (see
         :meth:`DeviceExperience.audit_components`).
         """
-        empirical: List[float] = []
-        bonus: List[float] = []
-        estimate: List[float] = []
-        for m in device_indices:
-            e, b, g = self._get(m).audit_components()
-            empirical.append(e)
-            bonus.append(b)
-            estimate.append(g)
-        return {"empirical": empirical, "bonus": bonus, "estimate": estimate}
+        idx = self._check_indices(device_indices)
+        empirical = np.where(self._has_exploit[idx], self._exploit[idx], 0.0)
+        estimate = self._estimate[idx]
+        bonus = np.where(
+            np.isfinite(estimate), estimate - empirical, math.inf
+        )
+        return {
+            "empirical": empirical.tolist(),
+            "bonus": bonus.tolist(),
+            "estimate": estimate.tolist(),
+        }
 
     def participation_counts(self) -> np.ndarray:
-        """Per-device total participation counts (diagnostics)."""
-        size = max(self.devices) + 1
-        counts = np.zeros(size, dtype=int)
-        for m, exp in self.devices.items():
-            counts[m] = exp.participation_count
-        return counts
+        """Per-device total participation counts (diagnostics).
+
+        Sized by the explicit device population given at construction —
+        well-defined independent of which ids have participated.
+        """
+        return self._participation_count.copy()
 
     def state_dict(self) -> dict:
-        """JSON-compatible snapshot of every device's experience."""
-        return {
-            "window": self.window,
-            "devices": {
-                str(m): exp.state_dict() for m, exp in self.devices.items()
-            },
-        }
+        """JSON-compatible snapshot of every device's experience.
+
+        Schema-identical to the scalar per-device implementation
+        (:meth:`DeviceExperience.state_dict`): old checkpoints load and
+        new checkpoints round-trip through old readers.
+        """
+        devices = {}
+        for m in range(self.num_devices):
+            length = int(self._buffer_len[m])
+            devices[str(m)] = {
+                "buffer": [float(g) for g in self._buffer_data[m][:length]],
+                "window_best": float(self._window_best[m]),
+                "window_participated": bool(self._window_participated[m]),
+                "lifetime_best": float(self._lifetime_best[m]),
+                "participation_count": int(self._participation_count[m]),
+                "exploit": (
+                    float(self._exploit[m]) if self._has_exploit[m] else None
+                ),
+                "estimate": (
+                    float(self._estimate[m]) if self._has_estimate[m] else None
+                ),
+            }
+        return {"window": self.window, "devices": devices}
 
     def load_state_dict(self, state: dict) -> None:
         """Restore :meth:`state_dict` output into an existing tracker."""
@@ -248,14 +462,30 @@ class ExperienceTracker:
                 f"match tracker window {self.window!r}"
             )
         devices = state.get("devices", {})
-        if set(devices) != {str(m) for m in self.devices}:
+        if set(devices) != {str(m) for m in range(self.num_devices)}:
             raise ValueError(
                 "checkpoint device population does not match the tracker"
             )
         for key, device_state in devices.items():
-            self.devices[int(key)].load_state_dict(device_state)
-
-    def _get(self, device: int) -> DeviceExperience:
-        if device not in self.devices:
-            raise KeyError(f"unknown device {device}")
-        return self.devices[device]
+            m = int(key)
+            buffer = np.asarray(
+                [float(g) for g in device_state["buffer"]], dtype=float
+            )
+            self._buffer_data[m] = buffer
+            self._buffer_len[m] = buffer.size
+            self._window_best[m] = float(device_state["window_best"])
+            self._window_participated[m] = bool(
+                device_state["window_participated"]
+            )
+            self._lifetime_best[m] = float(device_state["lifetime_best"])
+            self._participation_count[m] = int(
+                device_state["participation_count"]
+            )
+            exploit = device_state["exploit"]
+            self._has_exploit[m] = exploit is not None
+            self._exploit[m] = 0.0 if exploit is None else float(exploit)
+            estimate = device_state["estimate"]
+            self._has_estimate[m] = estimate is not None
+            self._estimate[m] = (
+                math.inf if estimate is None else float(estimate)
+            )

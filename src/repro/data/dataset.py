@@ -61,6 +61,29 @@ class Dataset:
         idx = rng.integers(0, len(self), size=min(batch_size, len(self)))
         return self.x[idx], self.y[idx]
 
+    def sample_batches(
+        self, num_batches: int, batch_size: int, rng: RngLike = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Pre-draw ``num_batches`` minibatches as stacked ``(I, B, …)`` arrays.
+
+        Makes exactly the same ``rng.integers`` calls, in the same
+        order, as ``num_batches`` successive :meth:`sample_batch` calls
+        — so the random stream (and therefore every drawn index) is
+        bit-identical to the sequential reference — then gathers all
+        features/labels in one fancy-indexing pass.  This feeds the
+        batched Eq. (4) local-update loop.
+        """
+        if len(self) == 0:
+            raise ValueError("cannot sample from an empty dataset")
+        if num_batches <= 0:
+            raise ValueError(f"num_batches must be positive, got {num_batches}")
+        rng = as_generator(rng)
+        size = min(batch_size, len(self))
+        idx = np.stack(
+            [rng.integers(0, len(self), size=size) for _ in range(num_batches)]
+        )
+        return self.x[idx], self.y[idx]
+
     def class_distribution(self) -> np.ndarray:
         """Empirical label distribution as a length-``num_classes`` simplex vector."""
         counts = np.bincount(self.y, minlength=self.num_classes).astype(float)

@@ -13,6 +13,18 @@ produced; ``tests/faults/test_checkpoint.py`` asserts it.
 Serialization goes through :mod:`repro.utils.serialization`'s tagged
 JSON (:func:`~repro.utils.serialization.to_jsonable`), which
 round-trips float64 arrays exactly.
+
+Models are checkpointed only as flat parameter vectors — never as
+layer objects — so the codec is independent of how a live
+:class:`~repro.nn.model.Model` stores parameters.  With the
+flat-buffer aliasing redesign this stays true in both directions:
+``edge_models`` / ``cloud_model`` are standalone arrays (copies of the
+canonical buffer, not views into it), and restoring installs them via
+``load_flat``-style copies, so a resumed trainer re-aliases its own
+fresh buffer.  Resume bit-equality additionally relies on the
+experience tracker computing buffer averages over the *full* restored
+buffer (see :class:`repro.core.experience.ExperienceTracker`), never
+from incrementally accumulated partial sums.
 """
 
 from __future__ import annotations

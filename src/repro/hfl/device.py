@@ -64,31 +64,43 @@ class Device:
         rng = as_generator(rng)
         loss_fn = SoftmaxCrossEntropy()
 
+        grad_sq_norms: List[float] = []
+        losses: List[float] = []
         if hotpath_enabled():
-            # The downloaded model defines the working flat vector
-            # directly — the reference path's set_flat + get_flat round
-            # trip walks every parameter twice for the same bits.  One
-            # gradient buffer serves all I steps.
-            flat = np.array(start_model, dtype=float)
-            model.set_flat_parameters(flat)
-            grad_out = np.empty_like(flat)
+            # Aliased + batched path: the model's parameters are views
+            # into its canonical flat buffer, so one load_flat installs
+            # w^t_n and the fused sgd_lr mode applies every
+            # w^{t,τ+1} = w^{t,τ} − γ g step as a single vector op — no
+            # per-τ set_flat_parameters walk.  All I minibatches are
+            # pre-drawn in one gather; the index draws make the same
+            # rng.integers calls in the same order as the reference
+            # loop, keeping the random stream bit-identical.
+            model.load_flat(start_model)
+            xs, ys = self.dataset.sample_batches(
+                local_epochs, batch_size, rng=rng
+            )
+            for tau in range(local_epochs):
+                loss, grad = model.loss_and_grad(
+                    xs[tau], ys[tau], loss_fn, sgd_lr=learning_rate
+                )
+                grad_sq_norms.append(float(grad @ grad))
+                losses.append(loss)
+            final_model = model.flat_copy()
         else:
             model.set_flat(start_model)
             flat = model.get_flat_parameters()
-            grad_out = None
-        grad_sq_norms: List[float] = []
-        losses: List[float] = []
-        for _tau in range(local_epochs):
-            x, y = self.dataset.sample_batch(batch_size, rng=rng)
-            loss, grad = model.loss_and_grad(x, y, loss_fn, out=grad_out)
-            grad_sq_norms.append(float(grad @ grad))
-            losses.append(loss)
-            # w^{t,τ+1} = w^{t,τ} − γ g_m(w^{t,τ}, ξ^{t,τ})
-            flat -= learning_rate * grad
-            model.set_flat_parameters(flat)
+            for _tau in range(local_epochs):
+                x, y = self.dataset.sample_batch(batch_size, rng=rng)
+                loss, grad = model.loss_and_grad(x, y, loss_fn)
+                grad_sq_norms.append(float(grad @ grad))
+                losses.append(loss)
+                # w^{t,τ+1} = w^{t,τ} − γ g_m(w^{t,τ}, ξ^{t,τ})
+                flat -= learning_rate * grad
+                model.set_flat_parameters(flat)
+            final_model = flat
         return LocalUpdateResult(
             device_id=self.device_id,
-            final_model=flat,
+            final_model=final_model,
             grad_sq_norms=grad_sq_norms,
             mean_loss=float(np.mean(losses)),
         )
@@ -107,7 +119,7 @@ class Device:
         not sampled.
         """
         rng = as_generator(rng)
-        model.set_flat(at_model)
+        model.load_flat(at_model)
         x, y = self.dataset.sample_batch(batch_size, rng=rng)
         _loss, grad = model.loss_and_grad(x, y)
         return float(grad @ grad)

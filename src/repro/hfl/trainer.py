@@ -162,7 +162,7 @@ class HFLTrainer:
         self.cloud = Cloud(dim)
 
         # Broadcast the common initial model w^0 to cloud and edges.
-        initial = self.model.get_flat()
+        initial = self.model.flat_copy()
         self.cloud.model = initial.copy()
         for edge in self.edges:
             edge.set_model(initial)
@@ -666,7 +666,7 @@ class HFLTrainer:
                 if steps_run % eval_interval == 0 or steps_run == num_steps:
                     t0 = clock()
                     with tracer.span("eval"):
-                        self.model.set_flat(self._virtual_global(t))
+                        self.model.load_flat(self._virtual_global(t))
                         # One fused pass over the test set yields both
                         # metrics (bit-identical to the separate
                         # accuracy/loss passes).

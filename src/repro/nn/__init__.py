@@ -8,9 +8,15 @@ and the exact CNN architectures of the evaluation section (2 conv + 2 FC
 for MNIST/FMNIST, 3 conv + 2 FC for CIFAR10).
 
 The federated-learning engine interacts with models exclusively through
-flat parameter vectors (:meth:`Model.get_flat` / :meth:`Model.set_flat`)
-and per-step stochastic gradients, which is all the sampling algorithms
-observe.
+flat parameter vectors and per-step stochastic gradients, which is all
+the sampling algorithms observe.  A :class:`Model` owns one contiguous
+flat buffer per tensor kind and every layer parameter is a numpy view
+into it: :meth:`Model.load_flat` installs weights with one copy,
+:meth:`Model.flat_copy` exports them, and :meth:`Model.flat_view` /
+:meth:`Model.grad_view` expose the live buffers so a whole-network SGD
+step is a single vector op (``get_flat`` / ``set_flat`` /
+``get_flat_parameters`` / ``set_flat_parameters`` remain as deprecated
+shims).
 """
 
 from repro.nn.functional import ConvWorkspace, one_hot, softmax

@@ -1,4 +1,31 @@
-"""Model containers with flat-parameter-vector access for FL aggregation."""
+"""Model containers with flat-parameter-vector access for FL aggregation.
+
+Flat-buffer aliasing
+--------------------
+A :class:`Model` owns **one contiguous flat float vector** per buffer
+(values and gradients); every layer's :class:`Parameter` is a reshaped
+numpy *view* into it.  The engine's canonical operations then collapse
+to single vector ops:
+
+- ``load_flat(w)`` — one ``buf[...] = w`` copy updates every layer;
+- ``flat_copy()`` — one ``buf.copy()`` reads every layer;
+- the Eq. (4) SGD step ``flat -= lr * grad`` updates all layers in
+  place with no per-parameter walk at all (see
+  :meth:`Model.loss_and_grad`'s fused ``sgd_lr`` mode).
+
+Aliasing is built lazily on first flat access and is *transparent*:
+layers and optimizers keep mutating ``Parameter.value`` / ``.grad`` in
+place, which numpy views propagate to the canonical buffers.  The alias
+state is transient — :meth:`Model.__getstate__` drops it, so pickled /
+deep-copied models (thread-pool clones, process-pool workers) ship
+plain per-parameter arrays and re-alias lazily on their side, exactly
+like :class:`~repro.nn.functional.ConvWorkspace` resets its scratch.
+
+Deprecated surface: ``get_flat`` / ``set_flat`` and the fast-path twins
+``get_flat_parameters`` / ``set_flat_parameters`` are thin shims over
+``flat_copy`` / ``load_flat`` kept for external callers and old
+checkpoints.
+"""
 
 from __future__ import annotations
 
@@ -10,13 +37,17 @@ from repro.nn.layers import Layer
 from repro.nn.loss import SoftmaxCrossEntropy
 from repro.nn.parameters import Parameter
 
+#: The lazily-built alias state: (flat values, flat grads, parameters,
+#: per-parameter offsets, total scalar count).
+_FlatState = Tuple[np.ndarray, np.ndarray, List[Parameter], List[int], int]
+
 
 class Model:
     """Base model interface used by the HFL engine.
 
     The engine never inspects layers; it moves models around as flat
-    parameter vectors (:meth:`get_flat` / :meth:`set_flat`) and asks for
-    per-minibatch loss gradients (:meth:`loss_and_grad`).
+    parameter vectors (:meth:`flat_copy` / :meth:`load_flat`) and asks
+    for per-minibatch loss gradients (:meth:`loss_and_grad`).
     """
 
     def parameters(self) -> List[Parameter]:
@@ -28,87 +59,140 @@ class Model:
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
-    # ---- flat-vector API ------------------------------------------------
+    # ---- canonical flat storage -----------------------------------------
 
-    def _flat_layout(self) -> Tuple[List[Parameter], List[int], int]:
-        """Cached ``(parameters, offsets, total)`` flat layout.
+    #: Attributes rebuilt lazily after pickling / deep-copying.  Numpy
+    #: serializes a view as a standalone array, which would silently
+    #: break the value<->buffer aliasing; dropping the cache instead
+    #: makes copies re-alias on first flat access.
+    _TRANSIENT_ATTRS = ("_flat_cache",)
+
+    def _flat_state(self) -> _FlatState:
+        state = self.__dict__.get("_flat_cache")
+        if state is None:
+            state = self._alias_parameters()
+        return state
+
+    def _alias_parameters(self) -> _FlatState:
+        """Build the canonical flat buffers and re-point parameters at them.
 
         Architectures are static after construction, so the parameter
-        walk (which :class:`Sequential` re-derives from its layers on
-        every call) is done once; the hot per-minibatch flat-vector
-        copies then run over precomputed slices.
+        walk happens once; current values and gradients are copied into
+        the contiguous buffers *before* each parameter is rebound, so
+        aliasing never changes observable state.
         """
-        layout = getattr(self, "_flat_layout_cache", None)
-        if layout is None:
-            params = self.parameters()
-            offsets: List[int] = []
-            total = 0
-            for p in params:
-                offsets.append(total)
-                total += p.size
-            layout = (params, offsets, total)
-            self._flat_layout_cache = layout
-        return layout
+        params = self.parameters()
+        offsets: List[int] = []
+        total = 0
+        for p in params:
+            offsets.append(total)
+            total += p.size
+        flat = np.empty(total)
+        grad = np.empty(total)
+        for p, offset in zip(params, offsets):
+            stop = offset + p.size
+            flat[offset:stop] = p.value.ravel()
+            grad[offset:stop] = p.grad.ravel()
+            p.alias(
+                flat[offset:stop].reshape(p.shape),
+                grad[offset:stop].reshape(p.shape),
+            )
+        state: _FlatState = (flat, grad, params, offsets, total)
+        self._flat_cache = state
+        return state
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        for key in self._TRANSIENT_ATTRS:
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     @property
     def num_parameters(self) -> int:
         """Total number of scalar parameters."""
-        return self._flat_layout()[2]
+        return self._flat_state()[4]
 
-    def get_flat_parameters(self, out: Optional[np.ndarray] = None) -> np.ndarray:
-        """Copy all parameters into one flat vector (allocation-free fast path).
+    # ---- flat-vector API ------------------------------------------------
+
+    def flat_view(self) -> np.ndarray:
+        """The canonical flat parameter buffer itself.
+
+        Mutations are live: every layer's ``Parameter.value`` is a view
+        into this vector, so in-place edits (``view[...] = w``,
+        ``view -= lr * g``) update the whole network with no per-layer
+        walk.  Do **not** keep the returned array across a pickle /
+        deepcopy of the model — copies own fresh buffers.
+        """
+        return self._flat_state()[0]
+
+    def flat_copy(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Copy all parameters into one standalone flat vector.
 
         ``out``, when given, must be a float vector of length
-        :attr:`num_parameters` and is filled in place and returned —
-        callers in the local-update loop reuse one scratch buffer
-        instead of paying a fresh concatenate per SGD step.
+        :attr:`num_parameters`; it is filled in place and returned so
+        hot callers can reuse one scratch buffer.
         """
-        params, offsets, total = self._flat_layout()
+        flat = self._flat_state()[0]
         if out is None:
-            out = np.empty(total)
-        elif out.shape != (total,):
+            return flat.copy()
+        if out.shape != flat.shape:
             raise ValueError(
-                f"out buffer has shape {out.shape}, expected ({total},)"
+                f"out buffer has shape {out.shape}, expected {flat.shape}"
             )
-        for p, offset in zip(params, offsets):
-            out[offset : offset + p.size] = p.value.ravel()
+        out[...] = flat
         return out
 
-    def set_flat_parameters(self, flat: np.ndarray) -> None:
-        """Load parameters from a flat vector (allocation-free fast path)."""
-        params, offsets, total = self._flat_layout()
-        if flat.shape != (total,):
+    def load_flat(self, flat: np.ndarray) -> None:
+        """Load parameters from a flat vector: one copy into the canonical
+        buffer updates every layer through its views."""
+        buf = self._flat_state()[0]
+        flat = np.asarray(flat, dtype=float)
+        if flat.shape != buf.shape:
             raise ValueError(
-                f"flat vector has shape {flat.shape}, expected ({total},)"
+                f"flat vector has shape {flat.shape}, expected {buf.shape}"
             )
-        for p, offset in zip(params, offsets):
-            p.value[...] = flat[offset : offset + p.size].reshape(p.shape)
+        buf[...] = flat
 
-    def get_flat(self) -> np.ndarray:
-        """Copy all parameters into one flat vector."""
-        return self.get_flat_parameters()
-
-    def set_flat(self, flat: np.ndarray) -> None:
-        """Load parameters from a flat vector produced by :meth:`get_flat`."""
-        self.set_flat_parameters(np.asarray(flat, dtype=float))
+    def grad_view(self) -> np.ndarray:
+        """The canonical flat gradient buffer (live view, see :meth:`flat_view`)."""
+        return self._flat_state()[1]
 
     def get_flat_grad(self, out: Optional[np.ndarray] = None) -> np.ndarray:
         """Copy all accumulated gradients into one flat vector."""
-        params, offsets, total = self._flat_layout()
+        grad = self._flat_state()[1]
         if out is None:
-            out = np.empty(total)
-        elif out.shape != (total,):
+            return grad.copy()
+        if out.shape != grad.shape:
             raise ValueError(
-                f"out buffer has shape {out.shape}, expected ({total},)"
+                f"out buffer has shape {out.shape}, expected {grad.shape}"
             )
-        for p, offset in zip(params, offsets):
-            out[offset : offset + p.size] = p.grad.ravel()
+        out[...] = grad
         return out
 
     def zero_grad(self) -> None:
         """Reset accumulated gradients on every parameter."""
-        for p in self.parameters():
-            p.zero_grad()
+        self._flat_state()[1].fill(0.0)
+
+    # ---- deprecated shims -----------------------------------------------
+
+    def get_flat_parameters(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Deprecated alias of :meth:`flat_copy` (old fast-path name)."""
+        return self.flat_copy(out=out)
+
+    def set_flat_parameters(self, flat: np.ndarray) -> None:
+        """Deprecated alias of :meth:`load_flat` (old fast-path name)."""
+        self.load_flat(flat)
+
+    def get_flat(self) -> np.ndarray:
+        """Deprecated alias of :meth:`flat_copy`."""
+        return self.flat_copy()
+
+    def set_flat(self, flat: np.ndarray) -> None:
+        """Deprecated alias of :meth:`load_flat`."""
+        self.load_flat(flat)
 
     # ---- training helpers ----------------------------------------------
 
@@ -118,22 +202,38 @@ class Model:
         y: np.ndarray,
         loss_fn: Optional[SoftmaxCrossEntropy] = None,
         out: Optional[np.ndarray] = None,
+        sgd_lr: Optional[float] = None,
     ) -> Tuple[float, np.ndarray]:
         """One forward/backward pass; returns (loss, flat gradient).
 
         Gradients are zeroed first, so the returned vector is exactly the
         stochastic gradient ``g_m(w, ξ)`` of Eq. (4) for this minibatch.
 
+        ``sgd_lr``, when given, fuses the Eq. (4) update into the call:
+        after the backward accumulation the canonical buffer takes one
+        ``flat -= sgd_lr * grad`` vector step — every layer updates in
+        place through its views, with no flat round-trip.  In fused mode
+        the returned gradient is the **live** :meth:`grad_view` (valid
+        until the next backward pass) unless ``out`` is supplied.
+
         ``out``, when given, receives the flat gradient in place and is
-        returned — the local-update loop passes one scratch buffer per
-        device round instead of allocating a fresh
-        ``num_parameters``-sized vector every SGD step.
+        returned — hot callers pass one scratch buffer instead of
+        allocating a fresh ``num_parameters``-sized vector per step.
         """
         loss_fn = loss_fn if loss_fn is not None else SoftmaxCrossEntropy()
-        self.zero_grad()
+        flat, grad = self._flat_state()[:2]
+        grad.fill(0.0)
         logits = self.forward(x, training=True)
         loss = loss_fn.forward(logits, y)
         self.backward(loss_fn.backward())
+        if sgd_lr is not None:
+            # w^{t,τ+1} = w^{t,τ} − γ g — same elementwise arithmetic as
+            # the reference path's standalone `flat -= lr * grad`.
+            flat -= sgd_lr * grad
+            if out is None:
+                return loss, grad
+            out[...] = grad
+            return loss, out
         return loss, self.get_flat_grad(out=out)
 
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:

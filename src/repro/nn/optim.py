@@ -89,6 +89,33 @@ class SGD:
                 p.value -= lr * grad
         self.step_count += 1
 
+    def step_flat(self, model) -> None:
+        """Apply one update through ``model``'s canonical flat buffers.
+
+        Equivalent to ``step(model.parameters())`` but runs as single
+        vector ops over :meth:`~repro.nn.model.Model.flat_view` /
+        :meth:`~repro.nn.model.Model.grad_view` — every layer updates in
+        place through its parameter views, with no per-parameter Python
+        loop.  Momentum state is keyed by the model, so interleaving
+        :meth:`step` and :meth:`step_flat` for the same parameters is
+        not supported.
+        """
+        lr = self.schedule(self.step_count)
+        flat = model.flat_view()
+        grad = model.grad_view()
+        if self.weight_decay:
+            grad = grad + self.weight_decay * flat
+        if self.momentum:
+            vel = self._velocity.get(id(model))
+            if vel is None:
+                vel = np.zeros_like(flat)
+            vel = self.momentum * vel - lr * grad
+            self._velocity[id(model)] = vel
+            flat += vel
+        else:
+            flat -= lr * grad
+        self.step_count += 1
+
     def reset(self) -> None:
         """Clear momentum state and the step counter."""
         self._velocity.clear()

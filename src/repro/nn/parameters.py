@@ -30,5 +30,30 @@ class Parameter:
         """Reset the accumulated gradient to zero."""
         self.grad.fill(0.0)
 
+    def alias(self, value_view: np.ndarray, grad_view: np.ndarray) -> None:
+        """Rebind storage to externally-owned array views.
+
+        Called by :meth:`repro.nn.model.Model.flat_view` machinery: the
+        model owns one contiguous flat vector per buffer and every
+        parameter becomes a reshaped view into it, so a single
+        ``flat -= lr * grad`` updates all layers in place.  The views
+        must already hold this parameter's current value and gradient —
+        the caller copies them in before aliasing.  Layers and
+        optimizers only ever mutate ``value`` / ``grad`` in place
+        (``+=``, ``[...] =``), which preserves the aliasing.
+        """
+        if value_view.shape != self.value.shape:
+            raise ValueError(
+                f"value view has shape {value_view.shape}, "
+                f"expected {self.value.shape}"
+            )
+        if grad_view.shape != self.grad.shape:
+            raise ValueError(
+                f"grad view has shape {grad_view.shape}, "
+                f"expected {self.grad.shape}"
+            )
+        self.value = value_view
+        self.grad = grad_view
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Parameter(name={self.name!r}, shape={self.value.shape})"

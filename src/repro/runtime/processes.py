@@ -16,6 +16,12 @@ while the start model is serialized a bounded number of times per
 round.  Results are keyed by device id, so completion order never
 matters; combined with per-``(step, edge, device)`` seed streams this
 backend is bit-identical to :class:`~repro.runtime.serial.SerialExecutor`.
+
+The context's scratch model crosses the process boundary (pickle on
+spawn platforms, fork inheritance otherwise) *without* its flat-alias
+state — ``Model.__getstate__`` drops it — so each worker re-aliases
+parameters into its own canonical flat buffer on the first local
+update it runs.
 """
 
 from __future__ import annotations

@@ -12,7 +12,9 @@ from repro.runtime.work_items import EdgeRoundPlan, RoundResults, WorkerContext
 class SerialExecutor(Executor):
     """Run every work item in the calling thread, in plan order.
 
-    Uses the trainer's own scratch model directly (no clone), so an
+    Uses the trainer's own scratch model directly (no clone) — and with
+    it the trainer model's canonical flat parameter buffer, aliased once
+    and reused for every device's fused local-update loop.  An
     ``executor=None`` / ``executor="serial"`` run costs exactly what the
     pre-runtime engine did.  The parallel backends are defined to be
     bit-identical to this one for the same master seed.

@@ -23,6 +23,11 @@ class ThreadExecutor(Executor):
     Pure-Python layer code serializes on the GIL, but the BLAS matmuls
     inside forward/backward release it, so multi-core machines see a
     modest speedup at zero serialization cost.
+
+    Each clone's deepcopy drops the model's flat-alias state
+    (``Model.__getstate__``), so every thread's scratch model re-aliases
+    its parameters into a private canonical flat buffer on first use —
+    no thread ever writes through another thread's views.
     """
 
     name = "thread"

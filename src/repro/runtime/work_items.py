@@ -65,6 +65,16 @@ class WorkerContext:
     replicas (threads, processes) call :meth:`clone` so each worker gets
     a private scratch model; the device datasets are read-only and
     shared (threads) or copied on ship (processes).
+
+    Flat-buffer aliasing contract: the scratch model's parameters are
+    numpy views into one canonical flat vector
+    (:meth:`repro.nn.model.Model.flat_view`), and numpy serializes a
+    view as a standalone array.  ``Model.__getstate__`` therefore drops
+    the alias state, so both :meth:`clone`'s deepcopy (thread replicas)
+    and the pickle that ships a context to process-pool workers carry
+    plain per-parameter arrays that re-alias lazily into a fresh
+    private buffer on first flat access — the same transient-scratch
+    discipline as :class:`repro.nn.functional.ConvWorkspace`.
     """
 
     def __init__(

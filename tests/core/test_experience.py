@@ -145,3 +145,113 @@ class TestExperienceTracker:
             everything.extend(norms)
         estimate = exp.sync(t=t)
         assert estimate >= np.mean(everything) - 1e-9
+
+
+class TestArrayBackedTracker:
+    """The vectorized tracker must agree *exactly* with the scalar
+    :class:`DeviceExperience` reference twin — same values, same state
+    schema — under any interleaving of records, failures and syncs."""
+
+    def run_scenario(self, window, seed=3, num_devices=5, num_syncs=4):
+        rng = np.random.default_rng(seed)
+        tracker = ExperienceTracker(num_devices, window=window)
+        scalars = [DeviceExperience(m, window=window) for m in range(num_devices)]
+        t = 0
+        for _ in range(num_syncs):
+            for _ in range(rng.integers(2, 5)):
+                t += 1
+                for m in range(num_devices):
+                    draw = rng.random()
+                    if draw < 0.4:
+                        norms = rng.random(size=int(rng.integers(1, 4))) * 10
+                        tracker.record(m, norms)
+                        scalars[m].record(norms)
+                    elif draw < 0.55:
+                        tracker.record_failure(m)
+                        scalars[m].record_failure()
+            tracker.sync_all(t)
+            for exp in scalars:
+                exp.sync(t)
+        return tracker, scalars, t
+
+    @pytest.mark.parametrize("window", ["recent", "lifetime"])
+    def test_matches_scalar_twin_bitwise(self, window):
+        tracker, scalars, _t = self.run_scenario(window)
+        ids = list(range(len(scalars)))
+        estimates = tracker.estimates(ids)
+        for m, exp in enumerate(scalars):
+            assert estimates[m] == exp.estimate
+        components = tracker.audit_components(ids)
+        for m, exp in enumerate(scalars):
+            e, b, g = exp.audit_components()
+            assert components["empirical"][m] == e
+            assert components["bonus"][m] == b
+            assert components["estimate"][m] == g
+
+    @pytest.mark.parametrize("window", ["recent", "lifetime"])
+    def test_state_dict_schema_matches_scalar_twin(self, window):
+        tracker, scalars, _t = self.run_scenario(window)
+        state = tracker.state_dict()
+        assert state["window"] == window
+        for m, exp in enumerate(scalars):
+            assert state["devices"][str(m)] == exp.state_dict()
+
+    def test_state_round_trip_is_exact(self):
+        tracker, _scalars, t = self.run_scenario("recent")
+        state = tracker.state_dict()
+        restored = ExperienceTracker(len(tracker.devices), window="recent")
+        restored.load_state_dict(state)
+        assert restored.state_dict() == state
+        # Continued operation agrees too (the restored buffers feed the
+        # same full-buffer means).
+        for tr in (tracker, restored):
+            tr.record(0, [1.5, 2.5])
+            tr.sync_all(t + 1)
+        ids = list(range(tracker.num_devices))
+        np.testing.assert_array_equal(
+            tracker.estimates(ids), restored.estimates(ids)
+        )
+
+    def test_devices_mapping_surface(self):
+        tracker = ExperienceTracker(3)
+        tracker.record(1, [4.0])
+        assert len(tracker.devices) == 3
+        assert list(tracker.devices) == [0, 1, 2]
+        assert 2 in tracker.devices and 3 not in tracker.devices
+        assert max(tracker.devices) + 1 == tracker.num_devices
+        view = tracker.devices[1]
+        assert view.participation_count == 1
+        assert view.buffer == [4.0]
+        assert view.window_participated
+        assert view.estimate == math.inf
+        assert math.isfinite(view.exploration_bonus(5))
+        with pytest.raises(KeyError):
+            tracker.devices[7]
+
+    def test_participation_counts_sized_by_population(self):
+        """Array shape comes from the explicit population size, not from
+        which ids happen to have participated."""
+        tracker = ExperienceTracker(6)
+        tracker.record(1, [1.0])
+        counts = tracker.participation_counts()
+        assert counts.shape == (6,)
+        np.testing.assert_array_equal(counts, [0, 1, 0, 0, 0, 0])
+        # Returned array is a copy, not live tracker state.
+        counts[0] = 99
+        assert tracker.participation_counts()[0] == 0
+
+    def test_estimates_rejects_out_of_range(self):
+        tracker = ExperienceTracker(2)
+        with pytest.raises(KeyError, match="unknown device"):
+            tracker.estimates([0, 5])
+        with pytest.raises(KeyError, match="unknown device"):
+            tracker.audit_components([-1])
+        with pytest.raises(KeyError):
+            tracker.record_failure(2)
+
+    def test_load_state_dict_validates(self):
+        tracker = ExperienceTracker(2)
+        with pytest.raises(ValueError, match="window"):
+            tracker.load_state_dict({"window": "lifetime", "devices": {}})
+        with pytest.raises(ValueError, match="population"):
+            tracker.load_state_dict({"window": "recent", "devices": {"0": {}}})

@@ -58,6 +58,39 @@ class TestDataset:
         with pytest.raises(ValueError, match="empty"):
             ds.sample_batch(1)
 
+    def test_sample_batches_matches_sequential_draws(self):
+        """Pre-drawing I batches consumes the RNG stream exactly like I
+        sequential sample_batch calls — the bit-identity argument for
+        the batched local-update path."""
+        ds = make(10)
+        gen_a = np.random.default_rng(9)
+        xs, ys = ds.sample_batches(4, 3, rng=gen_a)
+        gen_b = np.random.default_rng(9)
+        for tau in range(4):
+            x, y = ds.sample_batch(3, rng=gen_b)
+            np.testing.assert_array_equal(xs[tau], x)
+            np.testing.assert_array_equal(ys[tau], y)
+        # Subsequent draws from both generators still agree.
+        np.testing.assert_array_equal(
+            gen_a.integers(0, 100, size=5), gen_b.integers(0, 100, size=5)
+        )
+
+    def test_sample_batches_shapes(self):
+        ds = make(10)
+        xs, ys = ds.sample_batches(5, 4, rng=0)
+        assert xs.shape == (5, 4, 3) and ys.shape == (5, 4)
+
+    def test_sample_batches_caps_at_dataset_size(self):
+        ds = make(3)
+        xs, _ys = ds.sample_batches(2, 10, rng=0)
+        assert xs.shape[:2] == (2, 3)
+
+    def test_sample_batches_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="empty"):
+            Dataset(np.zeros((0, 2)), np.zeros(0, dtype=int), 2).sample_batches(1, 1)
+        with pytest.raises(ValueError, match="num_batches"):
+            make(5).sample_batches(0, 2)
+
     def test_class_distribution_sums_to_one(self):
         ds = make(50)
         dist = ds.class_distribution()
