@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.edge_sampling import EdgeSamplingConfig
 from repro.core.mach import MACHConfig, MACHSampler
@@ -64,6 +64,14 @@ class ScenarioConfig:
     target_accuracy: float = 0.75
     trace_kind: str = "telecom"  # telecom | markov | static
     aggregation: str = "fedavg"  # see repro.hfl.config.AGGREGATION_MODES
+    # Sync-step communication pattern and model-combination strategy
+    # (see repro.topology): hierarchical | clustered | gossip, and
+    # ipw | cluster_mix | gossip_avg (None = topology default).
+    topology: str = "hierarchical"
+    aggregation_strategy: Optional[str] = None
+    num_clusters: Optional[int] = None  # clustered: None = ceil(sqrt(E))
+    cluster_mixing_weight: float = 0.25  # cluster_mix lambda in [0, 1]
+    gossip_degree: int = 2  # gossip peers per edge per sync step
     stay_probability: float = 0.8  # markov trace parameter
     executor: str = "serial"  # see repro.runtime.EXECUTOR_KINDS
     num_workers: Optional[int] = None  # None = CPU count (pooled executors)
@@ -95,10 +103,40 @@ class ScenarioConfig:
             resolve_fault_profile(self.fault_profile)
         if self.checkpoint_every is not None:
             check_positive("checkpoint_every", self.checkpoint_every)
+        # Validate the topology pair exactly like HFLConfig will.
+        from repro.topology import validate_pair
+
+        validate_pair(self.topology, self.aggregation_strategy)
+        if self.num_clusters is not None:
+            check_positive("num_clusters", self.num_clusters)
+            if self.num_clusters > self.num_edges:
+                raise ValueError(
+                    f"num_clusters={self.num_clusters} exceeds the "
+                    f"{self.num_edges} edges"
+                )
+        check_fraction("cluster_mixing_weight", self.cluster_mixing_weight)
+        check_positive("gossip_degree", self.gossip_degree)
 
     def with_overrides(self, **kwargs) -> "ScenarioConfig":
         """A copy with the given fields replaced."""
         return replace(self, **kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dump of every field (all scalars or ``None``)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ScenarioConfig":
+        """Rebuild from :meth:`to_dict` output.
+
+        Unknown keys are rejected explicitly — a typoed or stale field
+        in a persisted scenario must fail loudly, not be dropped.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown ScenarioConfig fields: {unknown}")
+        return cls(**payload)
 
     @property
     def capacity_per_edge(self) -> float:

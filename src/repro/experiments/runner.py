@@ -101,6 +101,11 @@ def hfl_config_for(config: ScenarioConfig, seed: int) -> HFLConfig:
         sync_interval=config.sync_interval,
         participation_fraction=config.participation_fraction,
         aggregation=config.aggregation,
+        topology=config.topology,
+        aggregation_strategy=config.aggregation_strategy,
+        num_clusters=config.num_clusters,
+        cluster_mixing_weight=config.cluster_mixing_weight,
+        gossip_degree=config.gossip_degree,
         executor=config.executor,
         num_workers=config.num_workers,
         fault_profile=config.fault_profile,
@@ -251,6 +256,7 @@ def run_comparison(
 def build_parser() -> argparse.ArgumentParser:
     from repro.experiments.config import PRESETS
     from repro.runtime import EXECUTOR_KINDS
+    from repro.topology import AGGREGATION_STRATEGIES, TOPOLOGY_KINDS
 
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
@@ -271,6 +277,33 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--num-workers", type=int, default=None,
         help="worker count for pooled executors (default: CPU count)",
+    )
+    topo_group = parser.add_argument_group("topology")
+    topo_group.add_argument(
+        "--topology", default=None, choices=TOPOLOGY_KINDS,
+        help="sync-step communication pattern: the paper's cloud/edge "
+             "tree, edge clusters with inter-cluster mixing, or "
+             "cloudless gossip (default: the preset's, normally "
+             "hierarchical)",
+    )
+    topo_group.add_argument(
+        "--aggregation", default=None, choices=AGGREGATION_STRATEGIES,
+        help="sync-step aggregation strategy (default: the topology's "
+             "canonical one: ipw / cluster_mix / gossip_avg)",
+    )
+    topo_group.add_argument(
+        "--num-clusters", type=int, default=None, metavar="C",
+        help="cluster count for --topology clustered "
+             "(default: ceil(sqrt(num_edges)))",
+    )
+    topo_group.add_argument(
+        "--mixing-weight", type=float, default=None, metavar="LAMBDA",
+        help="inter-cluster mixing weight in [0, 1] for cluster_mix "
+             "(default: 0.25)",
+    )
+    topo_group.add_argument(
+        "--gossip-degree", type=int, default=None, metavar="K",
+        help="peers each edge gossips with per sync step (default: 2)",
     )
     parser.add_argument("--steps", type=int, default=None,
                         help="override the preset's training horizon")
@@ -420,6 +453,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     config = PRESETS[args.preset]
     overrides = {"executor": args.executor, "num_workers": args.num_workers}
+    if args.topology is not None:
+        overrides["topology"] = args.topology
+    if args.aggregation is not None:
+        overrides["aggregation_strategy"] = args.aggregation
+    if args.num_clusters is not None:
+        overrides["num_clusters"] = args.num_clusters
+    if args.mixing_weight is not None:
+        overrides["cluster_mixing_weight"] = args.mixing_weight
+    if args.gossip_degree is not None:
+        overrides["gossip_degree"] = args.gossip_degree
     if args.steps is not None:
         overrides["num_steps"] = args.steps
     if args.seed is not None:
@@ -457,8 +500,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         if result.reached_target_at is not None
         else f"target {config.target_accuracy:.2f} not reached"
     )
+    from repro.topology import validate_pair
+
+    effective_aggregation = validate_pair(
+        config.topology, config.aggregation_strategy
+    )
     echo(
         f"preset={args.preset} sampler={result.sampler_name} "
+        f"topology={config.topology} aggregation={effective_aggregation} "
         f"executor={args.executor} workers={args.num_workers or 'auto'}"
     )
     echo(

@@ -8,7 +8,11 @@ executor backend stays bit-identical, and :class:`TrainerCheckpoint`
 makes long runs resumable with exact-history replay.  See DESIGN.md §8.
 """
 
-from repro.faults.checkpoint import CHECKPOINT_VERSION, TrainerCheckpoint
+from repro.faults.checkpoint import (
+    CHECKPOINT_VERSION,
+    LEGACY_CHECKPOINT_VERSIONS,
+    TrainerCheckpoint,
+)
 from repro.faults.model import (
     FaultModel,
     SeededFaultModel,
@@ -24,6 +28,7 @@ from repro.faults.profile import (
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "LEGACY_CHECKPOINT_VERSIONS",
     "FAULT_KINDS",
     "FAULT_PRESETS",
     "FaultModel",

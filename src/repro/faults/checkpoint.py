@@ -43,7 +43,14 @@ from repro.utils.serialization import (
 )
 
 #: Format marker so future layout changes can be detected on load.
-CHECKPOINT_VERSION = 1
+#: v2 (the topology layer) added the ``topology_name`` /
+#: ``aggregation_name`` run fingerprints and the ``topology_state``
+#: snapshot; v1 checkpoints still load, defaulting to the hierarchical
+#: + ipw pair every pre-topology run implicitly used.
+CHECKPOINT_VERSION = 2
+
+#: Older formats :meth:`TrainerCheckpoint.from_dict` can still read.
+LEGACY_CHECKPOINT_VERSIONS = (1,)
 
 
 @dataclass
@@ -69,6 +76,9 @@ class TrainerCheckpoint:
     total_participants: int
     reached_target_at: Optional[int] = None
     telemetry_state: Optional[Dict[str, Any]] = None
+    topology_name: str = "hierarchical"
+    aggregation_name: str = "ipw"
+    topology_state: Dict[str, Any] = field(default_factory=dict)
     version: int = CHECKPOINT_VERSION
 
     def to_dict(self) -> Dict[str, Any]:
@@ -90,6 +100,9 @@ class TrainerCheckpoint:
                 "total_participants": self.total_participants,
                 "reached_target_at": self.reached_target_at,
                 "telemetry_state": self.telemetry_state,
+                "topology_name": self.topology_name,
+                "aggregation_name": self.aggregation_name,
+                "topology_state": self.topology_state,
             }
         )
 
@@ -109,10 +122,11 @@ class TrainerCheckpoint:
         if missing:
             raise ValueError(f"checkpoint missing keys: {sorted(missing)}")
         version = int(payload.get("version", CHECKPOINT_VERSION))
-        if version != CHECKPOINT_VERSION:
+        if version != CHECKPOINT_VERSION and version not in LEGACY_CHECKPOINT_VERSIONS:
             raise ValueError(
                 f"unsupported checkpoint version {version} "
-                f"(expected {CHECKPOINT_VERSION})"
+                f"(expected {CHECKPOINT_VERSION} or a legacy version in "
+                f"{LEGACY_CHECKPOINT_VERSIONS})"
             )
         decoded = from_jsonable(payload)
         return cls(
@@ -135,7 +149,14 @@ class TrainerCheckpoint:
             total_participants=int(decoded.get("total_participants", 0)),
             reached_target_at=decoded.get("reached_target_at"),
             telemetry_state=decoded.get("telemetry_state"),
-            version=version,
+            # v1 checkpoints predate the topology layer; every such run
+            # used the hierarchical + ipw pair implicitly.
+            topology_name=str(decoded.get("topology_name", "hierarchical")),
+            aggregation_name=str(decoded.get("aggregation_name", "ipw")),
+            topology_state=dict(decoded.get("topology_state") or {}),
+            # Loads normalize to the current version: re-saving a
+            # legacy checkpoint writes the v2 layout.
+            version=CHECKPOINT_VERSION,
         )
 
     def save(self, path: Union[str, Path]) -> Path:

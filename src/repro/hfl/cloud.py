@@ -34,7 +34,13 @@ class Cloud:
         The trainer passes the uploads that actually arrived — under
         sync faults an edge's slot may hold its *stale* last-synced
         model rather than ``edge.model``.
+
+        An empty model list and an all-zero count vector are rejected
+        explicitly: both would otherwise produce a silent ``0/0`` NaN
+        divide (every weight undefined) and poison the global model.
         """
+        if len(models) == 0:
+            raise ValueError("cannot aggregate an empty edge-model list")
         member_counts = np.asarray(member_counts, dtype=float)
         if member_counts.shape != (len(models),):
             raise ValueError(
@@ -45,7 +51,10 @@ class Cloud:
             raise ValueError("member counts must be non-negative")
         total = member_counts.sum()
         if total == 0:
-            raise ValueError("no devices in the system at this step")
+            raise ValueError(
+                "no devices in the system at this step "
+                "(all member counts are zero)"
+            )
         aggregate = np.zeros_like(self.model)
         for model, count in zip(models, member_counts):
             if count > 0:

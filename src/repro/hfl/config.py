@@ -88,6 +88,27 @@ class HFLConfig:
     checkpoint_path:
         Where the checkpoint file is written (required when
         ``checkpoint_every`` is set; overwritten in place, atomically).
+    topology:
+        Who talks to whom at each sync step (see :mod:`repro.topology`):
+        ``"hierarchical"`` (default — the paper's cloud→edge tree),
+        ``"clustered"`` (edge clusters with inter-cluster model
+        mixing), or ``"gossip"`` (cloudless seeded neighbor exchange).
+    aggregation_strategy:
+        How the exchanged models combine at a sync step — ``"ipw"``
+        (cloud member-count weighting + broadcast, hierarchical only),
+        ``"cluster_mix"`` (per-cluster weighted aggregation then
+        λ-damped neighbor mixing), or ``"gossip_avg"`` (uniform
+        neighborhood averaging).  ``None`` (default) selects the
+        topology's canonical strategy.  Distinct from ``aggregation``,
+        which picks the *within-edge* Eq. (5) device-weighting mode.
+    num_clusters:
+        Cluster count for the clustered topology (``None`` ⇒ ⌈√E⌉,
+        capped at the edge count); ignored by the other topologies.
+    cluster_mixing_weight:
+        λ ∈ [0, 1] of ``cluster_mix``: 0 keeps clusters independent,
+        1 replaces every cluster model with its neighbors' average.
+    gossip_degree:
+        Peers each edge draws per gossip sync step (clipped to E − 1).
     """
 
     learning_rate: float = 0.01
@@ -104,6 +125,11 @@ class HFLConfig:
     fault_profile: Optional[object] = None
     checkpoint_every: Optional[int] = None
     checkpoint_path: Optional[str] = None
+    topology: str = "hierarchical"
+    aggregation_strategy: Optional[str] = None
+    num_clusters: Optional[int] = None
+    cluster_mixing_weight: float = 0.25
+    gossip_degree: int = 2
 
     def __post_init__(self) -> None:
         check_positive("learning_rate", self.learning_rate)
@@ -125,6 +151,15 @@ class HFLConfig:
         from repro.faults.profile import resolve_fault_profile
 
         self.fault_profile = resolve_fault_profile(self.fault_profile)
+        # Same deferred-import rationale once more: repro.topology is
+        # imported by the trainer, which sits above this module.
+        from repro.topology import validate_pair
+
+        validate_pair(self.topology, self.aggregation_strategy)
+        if self.num_clusters is not None:
+            check_positive("num_clusters", self.num_clusters)
+        check_fraction("cluster_mixing_weight", self.cluster_mixing_weight)
+        check_positive("gossip_degree", self.gossip_degree)
         if self.checkpoint_every is not None:
             check_positive("checkpoint_every", self.checkpoint_every)
             if self.checkpoint_path is None:

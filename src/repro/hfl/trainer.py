@@ -66,6 +66,7 @@ from repro.runtime import (
     make_executor,
 )
 from repro.sampling.base import DeviceProfile, Sampler
+from repro.topology import make_aggregation, make_topology
 from repro.utils.rng import SeedSequenceFactory
 
 
@@ -166,11 +167,26 @@ class HFLTrainer:
         self.cloud.model = initial.copy()
         for edge in self.edges:
             edge.set_model(initial)
-        #: Per-edge fallback for edge→cloud sync failures: the last model
-        #: each edge successfully uploaded to the cloud.
+        #: Per-edge fallback for sync-step upload failures: the last
+        #: model each edge successfully contributed to a sync.
         self._last_synced: List[np.ndarray] = [
             initial.copy() for _ in self.edges
         ]
+
+        # Who talks to whom at sync steps, and how the exchanged models
+        # combine (see repro.topology).  The default pair (hierarchical
+        # + ipw) reproduces the pre-topology trainer bit for bit.
+        self.topology = make_topology(
+            config.topology,
+            num_clusters=config.num_clusters,
+            gossip_degree=config.gossip_degree,
+        )
+        self.topology.bind(trace.num_edges, self._seeds)
+        self.aggregation_strategy = make_aggregation(
+            config.aggregation_strategy,
+            self.topology,
+            mixing_weight=config.cluster_mixing_weight,
+        )
 
         profiles = [
             DeviceProfile(
@@ -219,6 +235,10 @@ class HFLTrainer:
             )
             self._checkpoint_counter = self._metrics.counter(
                 "repro_checkpoints_total", "Resumable checkpoints written"
+            )
+            self._sync_counter = self._metrics.counter(
+                "repro_syncs_total",
+                "Sync steps completed, by topology and aggregation strategy",
             )
             self._accuracy_gauge = self._metrics.gauge(
                 "repro_eval_accuracy", "Latest global-model test accuracy"
@@ -459,52 +479,74 @@ class HFLTrainer:
                     worker=wt.worker,
                 )
 
-    def _sync_to_cloud(self, t: int) -> None:
-        """Edge→cloud aggregation and broadcast (Algorithm 1 lines 12–13).
+    def _gather_uploads(self, t: int) -> List[np.ndarray]:
+        """The per-edge models entering this sync step's exchange.
 
-        Under an active fault model each edge's upload may fail; the
-        trainer retries with bounded exponential backoff (simulated —
-        accounted in telemetry, never slept) and falls back to the
-        edge's last successfully synced model when the retry budget is
-        exhausted, so one flaky backhaul degrades the global model's
-        freshness instead of killing the round.
+        Without a fault model every edge contributes its live model
+        (by reference — the aggregation strategies read the uploads
+        before installing anything).  Under an active fault model each
+        edge's upload may fail; the trainer retries with bounded
+        exponential backoff (simulated — accounted in telemetry, never
+        slept) and falls back to the edge's last successfully synced
+        model when the retry budget is exhausted, so one flaky backhaul
+        degrades the exchanged model's freshness instead of killing the
+        round.  This screening is topology-agnostic: a stale upload
+        enters the cloud sum, the cluster mix or the gossip averages
+        the same way.
+        """
+        if self.fault_model is None:
+            return [edge.model for edge in self.edges]
+        uploads: List[np.ndarray] = []
+        for n, edge in enumerate(self.edges):
+            outcome = self.fault_model.sync_outcome(t, n)
+            if outcome.success:
+                self._last_synced[n] = edge.model.copy()
+                uploads.append(edge.model)
+            else:
+                uploads.append(self._last_synced[n])
+            if self.telemetry is not None and (
+                outcome.failed_attempts > 0 or not outcome.success
+            ):
+                self.telemetry.record_sync_attempt(
+                    t,
+                    n,
+                    outcome.failed_attempts,
+                    used_stale=not outcome.success,
+                    backoff_seconds=outcome.backoff_seconds,
+                )
+        return uploads
+
+    def _sync_to_cloud(self, t: int) -> None:
+        """The sync step (Algorithm 1 lines 12–13, generalized).
+
+        The topology decides who talks to whom (:meth:`Topology
+        .sync_plan`) and the aggregation strategy combines the
+        exchanged uploads into the new edge models and the global
+        model.  Under the default hierarchical + ipw pair this is the
+        paper's edge→cloud aggregation and broadcast, bit-identical to
+        the pre-topology trainer (see :mod:`repro.topology.reference`).
         """
         counts = self.trace.counts_at(t)
-        if self.fault_model is None:
-            self.cloud.aggregate(self.edges, counts)
-        else:
-            uploads: List[np.ndarray] = []
-            for n, edge in enumerate(self.edges):
-                outcome = self.fault_model.sync_outcome(t, n)
-                if outcome.success:
-                    self._last_synced[n] = edge.model.copy()
-                    uploads.append(edge.model)
-                else:
-                    uploads.append(self._last_synced[n])
-                if self.telemetry is not None and (
-                    outcome.failed_attempts > 0 or not outcome.success
-                ):
-                    self.telemetry.record_sync_attempt(
-                        t,
-                        n,
-                        outcome.failed_attempts,
-                        used_stale=not outcome.success,
-                        backoff_seconds=outcome.backoff_seconds,
-                    )
-            self.cloud.aggregate_models(uploads, counts)
-        self.cloud.broadcast(self.edges)
+        uploads = self._gather_uploads(t)
+        plan = self.topology.sync_plan(t, counts)
+        self.aggregation_strategy.apply(
+            plan, uploads, counts, self.cloud, self.edges
+        )
+        if self._metrics is not None:
+            self._sync_counter.inc(
+                topology=self.topology.name,
+                aggregation=self.aggregation_strategy.name,
+            )
         self.sampler.on_global_sync(t)
 
     def _virtual_global(self, t: int) -> np.ndarray:
-        """Member-count-weighted average of edge models (equals the cloud
-        model right after a sync step)."""
+        """The strategy's evaluation-time global model (for hierarchical
+        + ipw: the member-count-weighted average of edge models, which
+        equals the cloud model right after a sync step)."""
         counts = self.trace.counts_at(t)
-        total = counts.sum()
-        aggregate = np.zeros_like(self.cloud.model)
-        for edge, count in zip(self.edges, counts):
-            if count > 0:
-                aggregate += (count / total) * edge.model
-        return aggregate
+        return self.aggregation_strategy.virtual_global(
+            counts, self.edges, self.cloud
+        )
 
     # -- checkpointing -------------------------------------------------------
 
@@ -514,6 +556,9 @@ class HFLTrainer:
             step=steps_completed,
             master_seed=self.config.seed,
             sampler_name=self.sampler.name,
+            topology_name=self.topology.name,
+            aggregation_name=self.aggregation_strategy.name,
+            topology_state=self.topology.state_dict(),
             edge_models=[edge.model.copy() for edge in self.edges],
             cloud_model=self.cloud.model.copy(),
             last_synced_edge_models=[m.copy() for m in self._last_synced],
@@ -551,6 +596,19 @@ class HFLTrainer:
                 f"checkpoint was written with sampler "
                 f"{checkpoint.sampler_name!r}, trainer has {self.sampler.name!r}"
             )
+        if checkpoint.topology_name != self.topology.name:
+            raise ValueError(
+                f"checkpoint was written with topology "
+                f"{checkpoint.topology_name!r}, trainer has "
+                f"{self.topology.name!r}"
+            )
+        if checkpoint.aggregation_name != self.aggregation_strategy.name:
+            raise ValueError(
+                f"checkpoint was written with aggregation strategy "
+                f"{checkpoint.aggregation_name!r}, trainer has "
+                f"{self.aggregation_strategy.name!r}"
+            )
+        self.topology.load_state_dict(checkpoint.topology_state)
         if len(checkpoint.edge_models) != len(self.edges):
             raise ValueError(
                 f"checkpoint has {len(checkpoint.edge_models)} edges, "
@@ -639,6 +697,8 @@ class HFLTrainer:
                 seed=self.config.seed,
                 sampler=self.sampler.name,
                 executor=self.executor.name,
+                topology=self.topology.name,
+                aggregation=self.aggregation_strategy.name,
                 num_steps=num_steps,
                 start_step=start_step,
                 sync_interval=self.config.sync_interval,
@@ -655,7 +715,11 @@ class HFLTrainer:
 
                 if t % self.config.sync_interval == 0:
                     t0 = clock()
-                    with tracer.span("sync"):
+                    with tracer.span(
+                        "sync",
+                        topology=self.topology.name,
+                        aggregation=self.aggregation_strategy.name,
+                    ):
                         self._sync_to_cloud(t)
                     if self.telemetry is not None:
                         self.telemetry.record_phase("sync", clock() - t0)

@@ -1,0 +1,278 @@
+"""Topology and aggregation-strategy abstractions (DESIGN.md §12).
+
+The paper fixes one communication pattern: a cloud→edge→device tree
+whose sync step is Eq. (6) member-count-weighted aggregation followed
+by a broadcast.  This module factors that pattern into two orthogonal
+abstractions so the related scenarios in PAPERS.md (cluster FL with
+inter-cluster model mixing, decentralized gossip FL) become config
+choices sharing the samplers, fault model and obs stack:
+
+- a :class:`Topology` answers *who talks to whom* at a sync step: it
+  turns ``(step, member counts)`` into a :class:`SyncPlan` — peer
+  groups over the edge set, which group's aggregate each edge
+  receives, and an optional inter-group mixing matrix;
+- an :class:`AggregationStrategy` answers *how the exchanged models
+  combine*: it consumes the plan plus the per-edge uploads and installs
+  the new edge models (and the cloud/virtual-global model used for
+  evaluation and checkpointing).
+
+Determinism contract: a topology may draw randomness (gossip neighbor
+selection) only from named ``(step, edge)`` streams of the engine's
+:class:`~repro.utils.rng.SeedSequenceFactory` — never from a stateful
+cursor — so sync plans depend only on ``(master_seed, step)``.  That is
+what keeps every topology bit-identical across executor backends and
+exactly replayable under checkpoint kill/resume.
+
+This module is deliberately free of ``repro.hfl`` imports: strategies
+receive the cloud and edge objects as duck-typed arguments, so the
+dependency order stays ``hfl → topology`` (the trainer builds its
+topology pair from config).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedSequenceFactory
+
+#: Selectable topologies (who talks to whom each sync step).
+TOPOLOGY_KINDS: Tuple[str, ...] = ("hierarchical", "clustered", "gossip")
+
+#: Selectable sync-level aggregation strategies.
+AGGREGATION_STRATEGIES: Tuple[str, ...] = ("ipw", "cluster_mix", "gossip_avg")
+
+#: The strategy each topology uses when none is requested explicitly.
+DEFAULT_STRATEGY: Dict[str, str] = {
+    "hierarchical": "ipw",
+    "clustered": "cluster_mix",
+    "gossip": "gossip_avg",
+}
+
+
+@dataclass(frozen=True)
+class SyncPlan:
+    """One sync step's communication structure over the edge set.
+
+    Attributes
+    ----------
+    step:
+        The time step the plan was built for.
+    groups:
+        Peer groups of edge indices.  Hierarchical: one group holding
+        every edge (the cloud sees all uploads).  Clustered: one group
+        per cluster.  Gossip: one group per edge — the edge itself plus
+        its drawn neighbors.
+    group_of:
+        ``group_of[n]`` is the index of the group whose aggregate edge
+        ``n`` receives.
+    mixing:
+        Optional row-stochastic ``(num_groups, num_groups)`` matrix of
+        *inter-group* exchange weights (the clustered topology's
+        neighbor-cluster structure); ``None`` when groups do not
+        exchange with each other.
+    """
+
+    step: int
+    groups: Tuple[Tuple[int, ...], ...]
+    group_of: Tuple[int, ...]
+    mixing: Optional[np.ndarray] = None
+
+
+class Topology(ABC):
+    """Who talks to whom at each sync step.
+
+    A topology is bound once to the run's edge count and seed factory
+    (:meth:`bind`) and then queried per sync step for a
+    :class:`SyncPlan`.  Topologies must be stateless between sync steps
+    apart from what :meth:`state_dict` captures, and any randomness must
+    come from named streams of the bound seed factory.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    #: Whether a central coordinator exists (the hierarchical cloud).
+    has_cloud: bool = False
+
+    def __init__(self) -> None:
+        self.num_edges: Optional[int] = None
+        self._seeds: Optional[SeedSequenceFactory] = None
+
+    def bind(self, num_edges: int, seeds: SeedSequenceFactory) -> None:
+        """Attach the run's edge count and seed factory."""
+        if num_edges <= 0:
+            raise ValueError(f"num_edges must be positive, got {num_edges}")
+        self.num_edges = int(num_edges)
+        self._seeds = seeds
+        self._on_bind()
+
+    def _on_bind(self) -> None:
+        """Subclass hook run after :meth:`bind` (resolve derived shape)."""
+
+    def _require_bound(self) -> int:
+        if self.num_edges is None:
+            raise RuntimeError(f"{self.name} topology is not bound to a run")
+        return self.num_edges
+
+    @abstractmethod
+    def sync_plan(self, t: int, counts: np.ndarray) -> SyncPlan:
+        """The communication structure of sync step ``t``."""
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Resumable topology state (fingerprint + subclass extras).
+
+        The built-in topologies derive everything from ``(config,
+        master_seed, step)``, so the dict is a fingerprint rather than a
+        mutable-state snapshot — but the hook exists so stateful
+        topologies (e.g. a learned overlay) checkpoint exactly.
+        """
+        return {"name": self.name, "num_edges": self._require_bound()}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output; empty dicts (legacy
+        checkpoints written before the topology layer) are accepted."""
+        if not state:
+            return
+        if state.get("name", self.name) != self.name:
+            raise ValueError(
+                f"checkpoint topology state is for {state['name']!r}, "
+                f"this run uses {self.name!r}"
+            )
+        num_edges = state.get("num_edges")
+        if num_edges is not None and int(num_edges) != self._require_bound():
+            raise ValueError(
+                f"checkpoint topology state covers {num_edges} edges, "
+                f"this run has {self.num_edges}"
+            )
+
+    def describe(self) -> Dict[str, Any]:
+        """Human/JSON-facing parameter summary (manifests, benches)."""
+        return {"topology": self.name}
+
+
+class AggregationStrategy(ABC):
+    """How exchanged models combine at a sync step.
+
+    ``apply`` consumes the topology's :class:`SyncPlan` plus the
+    per-edge uploads and installs the new edge models; it also keeps
+    ``cloud.model`` equal to the run's *global* model — the real cloud
+    model under the hierarchical topology, the member-count-weighted
+    virtual global elsewhere — because evaluation and checkpointing
+    read it.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    #: Topology names this strategy can run on.
+    compatible_topologies: Tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self.topology: Optional[Topology] = None
+
+    def bind(self, topology: Topology) -> None:
+        """Attach the topology, validating compatibility."""
+        if topology.name not in self.compatible_topologies:
+            raise ValueError(
+                f"aggregation strategy {self.name!r} does not support the "
+                f"{topology.name!r} topology (supported: "
+                f"{', '.join(self.compatible_topologies)})"
+            )
+        self.topology = topology
+
+    @abstractmethod
+    def apply(
+        self,
+        plan: SyncPlan,
+        uploads: Sequence[np.ndarray],
+        counts: np.ndarray,
+        cloud,
+        edges: Sequence,
+    ) -> None:
+        """Install the post-sync edge models and the global model."""
+
+    def virtual_global(self, counts: np.ndarray, edges: Sequence, cloud) -> np.ndarray:
+        """The evaluation-time global model between syncs.
+
+        Default: the member-count-weighted average of the current edge
+        models — bit-identical to the pre-topology trainer's
+        ``_virtual_global`` (equals the cloud model right after a
+        hierarchical sync step).
+        """
+        total = counts.sum()
+        aggregate = np.zeros_like(cloud.model)
+        for edge, count in zip(edges, counts):
+            if count > 0:
+                aggregate += (count / total) * edge.model
+        return aggregate
+
+    def describe(self) -> Dict[str, Any]:
+        """Human/JSON-facing parameter summary (manifests, benches)."""
+        return {"aggregation": self.name}
+
+
+def check_sync_inputs(
+    strategy: str, uploads: Sequence[np.ndarray], counts: np.ndarray
+) -> np.ndarray:
+    """Shared guard for sync-step inputs.
+
+    Raises an explicit error on an empty edge list, a misaligned count
+    vector, negative counts, or an all-zero population — the conditions
+    that would otherwise surface as a silent ``0/0`` NaN divide deep in
+    the weighted averages.
+    """
+    if len(uploads) == 0:
+        raise ValueError(f"{strategy}: cannot aggregate an empty edge list")
+    counts = np.asarray(counts, dtype=float)
+    if counts.shape != (len(uploads),):
+        raise ValueError(
+            f"{strategy}: member_counts must align with uploads: "
+            f"{counts.shape} vs {len(uploads)}"
+        )
+    if np.any(counts < 0):
+        raise ValueError(f"{strategy}: member counts must be non-negative")
+    if counts.sum() == 0:
+        raise ValueError(
+            f"{strategy}: no devices in the system at this step "
+            "(all member counts are zero)"
+        )
+    return counts
+
+
+def group_counts(plan: SyncPlan, counts: np.ndarray) -> np.ndarray:
+    """Total member count per plan group, shape ``(num_groups,)``."""
+    counts = np.asarray(counts, dtype=float)
+    return np.array(
+        [counts[list(group)].sum() for group in plan.groups], dtype=float
+    )
+
+
+def weighted_group_average(
+    group: Tuple[int, ...],
+    uploads: Sequence[np.ndarray],
+    counts: np.ndarray,
+) -> np.ndarray:
+    """Member-count-weighted average of one group's uploads.
+
+    A group whose members currently coordinate no devices (every count
+    zero) falls back to the unweighted mean of its uploads — the edges
+    still exist and must receive *some* model, and dropping to the mean
+    degrades gracefully instead of dividing by zero.
+    """
+    total = float(counts[list(group)].sum())
+    aggregate = np.zeros_like(uploads[group[0]])
+    if total > 0:
+        for k in group:
+            if counts[k] > 0:
+                aggregate += (counts[k] / total) * uploads[k]
+    else:
+        share = 1.0 / len(group)
+        for k in group:
+            aggregate += share * uploads[k]
+    return aggregate

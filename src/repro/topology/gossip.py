@@ -1,0 +1,127 @@
+"""Cloudless gossip topology with seeded neighbor exchange.
+
+The decentralized, mobility-assisted FL neighbor of the paper
+(arXiv:2512.24694): there is no cloud at all — at each sync step every
+edge exchanges models with a few peers and averages what it received.
+Over repeated rounds the pairwise averages diffuse every edge's
+progress through the whole graph (synchronous push–pull gossip).
+
+Neighbor selection is *seeded*: edge ``n``'s peers at sync step ``t``
+are drawn from the named stream ``(master_seed, t, n, "gossip")`` of
+the engine's seed factory.  Plans therefore depend only on the master
+seed and the step — never on executor backend, worker scheduling or a
+stateful RNG cursor — which is exactly what makes gossip runs
+bit-reproducible and checkpoint kill/resume exact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.topology.base import (
+    AggregationStrategy,
+    SyncPlan,
+    Topology,
+    check_sync_inputs,
+)
+from repro.utils.validation import check_finite, check_positive
+
+
+class GossipTopology(Topology):
+    """Each edge gossips with ``degree`` seeded peers per sync step."""
+
+    name = "gossip"
+    has_cloud = False
+
+    def __init__(self, degree: int = 2) -> None:
+        super().__init__()
+        check_positive("gossip degree", degree)
+        self.degree = int(degree)
+
+    def _neighbors(self, t: int, n: int) -> Tuple[int, ...]:
+        """Edge ``n``'s drawn peers at sync step ``t`` (sorted, no self)."""
+        num_edges = self._require_bound()
+        k = min(self.degree, num_edges - 1)
+        if k == 0:
+            return ()
+        rng = self._seeds.round_generator(t, n, "gossip")
+        # Draw from [0, E-1) and shift past self: uniform over peers
+        # without rejection, so the stream consumption is fixed-size.
+        drawn = rng.choice(num_edges - 1, size=k, replace=False)
+        drawn = drawn + (drawn >= n)
+        return tuple(int(p) for p in np.sort(drawn))
+
+    def sync_plan(self, t: int, counts: np.ndarray) -> SyncPlan:
+        num_edges = self._require_bound()
+        groups = tuple(
+            (n,) + self._neighbors(t, n) for n in range(num_edges)
+        )
+        return SyncPlan(
+            step=t, groups=groups, group_of=tuple(range(num_edges))
+        )
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state["degree"] = self.degree
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        if state and int(state.get("degree", self.degree)) != self.degree:
+            raise ValueError(
+                f"checkpoint topology state has gossip degree "
+                f"{state['degree']}, this run has {self.degree}"
+            )
+
+    def describe(self) -> Dict[str, Any]:
+        return {"topology": self.name, "degree": self.degree}
+
+
+class GossipAveraging(AggregationStrategy):
+    """Uniform averaging over each edge's neighborhood uploads.
+
+    Edge ``n``'s new model is the plain mean of the flat parameter
+    buffers uploaded by its plan group (itself plus its drawn peers) —
+    the classic synchronous gossip-averaging step, computed for all
+    edges from the *pre-sync* uploads so exchange order cannot matter.
+    The global (evaluation) model is the member-count-weighted average
+    of the post-gossip edge models; ``cloud.model`` tracks it even
+    though no cloud participates, because evaluation and checkpointing
+    read it.
+
+    Also runs on the clustered topology, where a "neighborhood" is the
+    edge's whole cluster — i.e. unweighted within-cluster averaging
+    with no inter-cluster exchange.
+    """
+
+    name = "gossip_avg"
+    compatible_topologies = ("gossip", "clustered")
+
+    def apply(
+        self,
+        plan: SyncPlan,
+        uploads: Sequence[np.ndarray],
+        counts: np.ndarray,
+        cloud,
+        edges: Sequence,
+    ) -> None:
+        counts = check_sync_inputs(self.name, uploads, counts)
+        new_models = []
+        for n in range(len(edges)):
+            group = plan.groups[plan.group_of[n]]
+            share = 1.0 / len(group)
+            aggregate = np.zeros_like(uploads[n])
+            for k in group:
+                aggregate += share * uploads[k]
+            new_models.append(aggregate)
+        for edge, model in zip(edges, new_models):
+            edge.set_model(model)
+        total = counts.sum()
+        aggregate = np.zeros_like(cloud.model)
+        for model, count in zip(new_models, counts):
+            if count > 0:
+                aggregate += (count / total) * model
+        cloud.model = aggregate
+        check_finite("gossip global model", cloud.model)

@@ -42,6 +42,56 @@ class TestScenarioConfig:
         with pytest.raises(ValueError):
             ScenarioConfig(trace_kind="teleport")
 
+    def test_topology_fields_validated(self):
+        ScenarioConfig(topology="gossip", gossip_degree=3)
+        ScenarioConfig(
+            topology="clustered", num_clusters=4, cluster_mixing_weight=0.5
+        )
+        ScenarioConfig(topology="clustered", aggregation_strategy="gossip_avg")
+        with pytest.raises(ValueError, match="unknown topology"):
+            ScenarioConfig(topology="ring")
+        with pytest.raises(ValueError, match="does not support"):
+            ScenarioConfig(topology="gossip", aggregation_strategy="ipw")
+        with pytest.raises(ValueError, match="exceeds"):
+            ScenarioConfig(num_edges=4, topology="clustered", num_clusters=5)
+        with pytest.raises(ValueError):
+            ScenarioConfig(cluster_mixing_weight=1.5)
+        with pytest.raises(ValueError):
+            ScenarioConfig(topology="gossip", gossip_degree=0)
+
+
+class TestScenarioSerialization:
+    def test_to_dict_round_trip_is_exact(self):
+        config = ScenarioConfig(
+            topology="clustered",
+            num_clusters=3,
+            cluster_mixing_weight=0.4,
+            fault_profile="moderate",
+            seed=7,
+        )
+        payload = config.to_dict()
+        assert payload["topology"] == "clustered"
+        assert ScenarioConfig.from_dict(payload) == config
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        config = PRESETS["blobs-bench"].with_overrides(topology="gossip")
+        rebuilt = ScenarioConfig.from_dict(
+            json.loads(json.dumps(config.to_dict()))
+        )
+        assert rebuilt == config
+
+    def test_unknown_fields_rejected(self):
+        payload = ScenarioConfig().to_dict()
+        payload["gossip_degre"] = 3  # typo must fail loudly, not be dropped
+        with pytest.raises(ValueError, match="unknown ScenarioConfig fields"):
+            ScenarioConfig.from_dict(payload)
+
+    def test_with_overrides_rejects_unknown_fields(self):
+        with pytest.raises(TypeError):
+            ScenarioConfig().with_overrides(gossip_degre=3)
+
 
 class TestPresets:
     def test_all_tasks_have_both_presets(self):

@@ -83,6 +83,38 @@ class TestCheckpointRoundTrip:
         with pytest.raises(ValueError, match="version"):
             TrainerCheckpoint.from_dict(payload)
 
+    def test_topology_fingerprint_round_trips(self):
+        trainer = build_trainer(UniformSampler(), topology="gossip",
+                                gossip_degree=2)
+        trainer.run(num_steps=6)
+        checkpoint = trainer.make_checkpoint(6)
+        assert checkpoint.topology_name == "gossip"
+        assert checkpoint.aggregation_name == "gossip_avg"
+        assert checkpoint.topology_state["degree"] == 2
+        rebuilt = TrainerCheckpoint.from_dict(checkpoint.to_dict())
+        assert rebuilt.topology_name == checkpoint.topology_name
+        assert rebuilt.aggregation_name == checkpoint.aggregation_name
+        assert rebuilt.topology_state == checkpoint.topology_state
+
+    def test_legacy_v1_checkpoint_loads_as_hierarchical_ipw(self):
+        """Checkpoints written before the topology layer keep loading:
+        they default to the pair every pre-topology run implicitly used,
+        and re-save in the current layout."""
+        trainer = build_trainer(UniformSampler())
+        trainer.run(num_steps=4)
+        payload = trainer.make_checkpoint(4).to_dict()
+        for key in ("topology_name", "aggregation_name", "topology_state"):
+            del payload[key]
+        payload["version"] = 1
+        loaded = TrainerCheckpoint.from_dict(payload)
+        assert loaded.version == CHECKPOINT_VERSION
+        assert loaded.topology_name == "hierarchical"
+        assert loaded.aggregation_name == "ipw"
+        assert loaded.topology_state == {}
+        # A hierarchical trainer resumes from it without complaint.
+        resumed = build_trainer(UniformSampler())
+        resumed.run(num_steps=8, resume_from=loaded)
+
 
 class TestKillAndResume:
     def run_pair(self, make_sampler, tmp_path, fault_profile, num_steps=12,

@@ -192,6 +192,16 @@ class TestCloud:
         with pytest.raises(ValueError, match="no devices"):
             cloud.aggregate([Edge(0, 1.0, 2)], np.array([0]))
 
+    def test_empty_edge_list_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            Cloud(2).aggregate_models([], np.array([]))
+
+    def test_negative_counts_raise(self):
+        cloud = Cloud(2)
+        edges = [Edge(0, 1.0, 2), Edge(1, 1.0, 2)]
+        with pytest.raises(ValueError, match="non-negative"):
+            cloud.aggregate(edges, np.array([3, -1]))
+
     def test_broadcast_sets_all_edges(self):
         cloud = Cloud(2)
         cloud.model = np.array([3.0, 4.0])

@@ -1,0 +1,202 @@
+"""repro.topology core: registries, factories, plans, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.topology import (
+    AGGREGATION_STRATEGIES,
+    DEFAULT_STRATEGY,
+    TOPOLOGY_KINDS,
+    ClusteredTopology,
+    GossipTopology,
+    HierarchicalTopology,
+    check_sync_inputs,
+    default_num_clusters,
+    default_strategy_name,
+    make_aggregation,
+    make_topology,
+    validate_pair,
+)
+from repro.utils.rng import SeedSequenceFactory
+
+
+def bound(topology, num_edges=6, seed=0):
+    topology.bind(num_edges, SeedSequenceFactory(seed))
+    return topology
+
+
+class TestRegistries:
+    def test_every_topology_has_a_default_strategy(self):
+        assert set(DEFAULT_STRATEGY) == set(TOPOLOGY_KINDS)
+        assert set(DEFAULT_STRATEGY.values()) <= set(AGGREGATION_STRATEGIES)
+
+    def test_validate_pair_resolves_defaults(self):
+        for topology in TOPOLOGY_KINDS:
+            assert validate_pair(topology, None) == DEFAULT_STRATEGY[topology]
+            assert default_strategy_name(topology) == DEFAULT_STRATEGY[topology]
+
+    def test_validate_pair_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            validate_pair("ring", None)
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            validate_pair("hierarchical", "median")
+        with pytest.raises(ValueError, match="unknown topology"):
+            default_strategy_name("ring")
+
+    def test_validate_pair_rejects_incompatible_combinations(self):
+        with pytest.raises(ValueError, match="does not support"):
+            validate_pair("gossip", "ipw")
+        with pytest.raises(ValueError, match="does not support"):
+            validate_pair("hierarchical", "cluster_mix")
+        # The one genuine cross-combination: gossip_avg on clusters.
+        assert validate_pair("clustered", "gossip_avg") == "gossip_avg"
+
+    def test_make_topology_round_trips_names(self):
+        for name in TOPOLOGY_KINDS:
+            assert make_topology(name).name == name
+        with pytest.raises(ValueError, match="unknown topology"):
+            make_topology("ring")
+
+    def test_make_aggregation_binds_and_validates(self):
+        topology = bound(make_topology("hierarchical"))
+        strategy = make_aggregation(None, topology)
+        assert strategy.name == "ipw"
+        assert strategy.topology is topology
+        with pytest.raises(ValueError, match="does not support"):
+            make_aggregation("gossip_avg", topology)
+
+
+class TestTopologyLifecycle:
+    def test_unbound_topology_refuses_plans(self):
+        with pytest.raises(RuntimeError, match="not bound"):
+            HierarchicalTopology().sync_plan(0, np.ones(3))
+
+    def test_bind_rejects_bad_edge_counts(self):
+        with pytest.raises(ValueError, match="positive"):
+            HierarchicalTopology().bind(0, SeedSequenceFactory(0))
+
+    def test_state_dict_round_trip(self):
+        for name in TOPOLOGY_KINDS:
+            topology = bound(make_topology(name))
+            twin = bound(make_topology(name))
+            twin.load_state_dict(topology.state_dict())
+
+    def test_legacy_empty_state_accepted(self):
+        bound(make_topology("gossip")).load_state_dict({})
+
+    def test_state_dict_mismatches_rejected(self):
+        topology = bound(make_topology("clustered"))
+        with pytest.raises(ValueError, match="topology state is for"):
+            topology.load_state_dict({"name": "gossip"})
+        with pytest.raises(ValueError, match="edges"):
+            topology.load_state_dict({"name": "clustered", "num_edges": 9})
+        with pytest.raises(ValueError, match="clusters"):
+            topology.load_state_dict(
+                {"name": "clustered", "num_edges": 6, "num_clusters": 5}
+            )
+        gossip = bound(make_topology("gossip", gossip_degree=2))
+        with pytest.raises(ValueError, match="degree"):
+            gossip.load_state_dict(
+                {"name": "gossip", "num_edges": 6, "degree": 3}
+            )
+
+
+class TestHierarchicalPlan:
+    def test_single_group_of_all_edges(self):
+        plan = bound(HierarchicalTopology(), 4).sync_plan(5, np.ones(4))
+        assert plan.step == 5
+        assert plan.groups == ((0, 1, 2, 3),)
+        assert plan.group_of == (0, 0, 0, 0)
+        assert plan.mixing is None
+        assert HierarchicalTopology.has_cloud
+
+
+class TestClusteredPlan:
+    def test_default_cluster_count_is_sqrt_like(self):
+        assert default_num_clusters(1) == 1
+        assert default_num_clusters(2) == 2
+        assert default_num_clusters(4) == 2
+        assert default_num_clusters(9) == 3
+        assert default_num_clusters(10) == 4
+
+    def test_groups_partition_the_edges(self):
+        topology = bound(ClusteredTopology(num_clusters=3), 7)
+        plan = topology.sync_plan(0, np.ones(7))
+        flattened = sorted(n for group in plan.groups for n in group)
+        assert flattened == list(range(7))
+        for n in range(7):
+            assert n in plan.groups[plan.group_of[n]]
+
+    def test_mixing_matrix_is_row_stochastic_with_zero_diagonal(self):
+        plan = bound(ClusteredTopology(num_clusters=3), 9).sync_plan(
+            0, np.ones(9)
+        )
+        np.testing.assert_allclose(plan.mixing.sum(axis=1), 1.0)
+        np.testing.assert_allclose(np.diag(plan.mixing), 0.0)
+
+    def test_single_cluster_mixes_with_itself(self):
+        plan = bound(ClusteredTopology(num_clusters=1), 3).sync_plan(
+            0, np.ones(3)
+        )
+        np.testing.assert_array_equal(plan.mixing, np.eye(1))
+
+    def test_more_clusters_than_edges_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            bound(ClusteredTopology(num_clusters=5), 3)
+        with pytest.raises(ValueError, match="positive"):
+            ClusteredTopology(num_clusters=0)
+
+
+class TestGossipPlan:
+    def test_each_group_is_self_plus_degree_peers(self):
+        topology = bound(GossipTopology(degree=2), 6)
+        plan = topology.sync_plan(3, np.ones(6))
+        assert plan.group_of == tuple(range(6))
+        for n, group in enumerate(plan.groups):
+            assert group[0] == n
+            peers = group[1:]
+            assert len(peers) == 2
+            assert n not in peers
+            assert len(set(peers)) == 2
+            assert all(0 <= p < 6 for p in peers)
+
+    def test_degree_saturates_at_all_peers(self):
+        plan = bound(GossipTopology(degree=10), 3).sync_plan(0, np.ones(3))
+        assert all(len(group) == 3 for group in plan.groups)
+
+    def test_plans_depend_only_on_seed_and_step(self):
+        a = bound(GossipTopology(degree=2), 8, seed=7)
+        b = bound(GossipTopology(degree=2), 8, seed=7)
+        other_seed = bound(GossipTopology(degree=2), 8, seed=8)
+        assert a.sync_plan(4, np.ones(8)).groups == b.sync_plan(4, np.ones(8)).groups
+        differs = any(
+            a.sync_plan(t, np.ones(8)).groups
+            != other_seed.sync_plan(t, np.ones(8)).groups
+            for t in range(5)
+        )
+        assert differs, "different master seeds should draw different peers"
+        varies = any(
+            a.sync_plan(0, np.ones(8)).groups != a.sync_plan(t, np.ones(8)).groups
+            for t in range(1, 5)
+        )
+        assert varies, "peer draws should vary across sync steps"
+
+
+class TestSyncInputGuards:
+    def test_empty_edge_list_rejected(self):
+        with pytest.raises(ValueError, match="empty edge list"):
+            check_sync_inputs("ipw", [], np.array([]))
+
+    def test_misaligned_counts_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            check_sync_inputs("ipw", [np.zeros(2)], np.array([1, 2]))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_sync_inputs("ipw", [np.zeros(2)], np.array([-1]))
+
+    def test_all_zero_population_rejected(self):
+        with pytest.raises(ValueError, match="no devices"):
+            check_sync_inputs(
+                "gossip_avg", [np.zeros(2), np.zeros(2)], np.array([0, 0])
+            )

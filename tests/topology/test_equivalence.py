@@ -1,0 +1,121 @@
+"""End-to-end topology contracts on the real trainer.
+
+The acceptance criteria of the topology PR: (1) the default
+``hierarchical`` + ``ipw`` pair is bit-identical to the pre-topology
+trainer (the runnable reference twin) on every executor backend;
+(2) the clustered and gossip modes are deterministic under a fixed
+seed and replay exactly across checkpoint kill/resume; (3) a
+checkpoint taken under one topology refuses to restore into another.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import PRESETS
+from repro.experiments.runner import run_single
+from repro.faults import TrainerCheckpoint
+from repro.topology import TOPOLOGY_KINDS
+from repro.topology.reference import ReferenceTwinTrainer, run_reference
+
+BASE = PRESETS["blobs-bench"].with_overrides(
+    num_devices=16,
+    num_edges=4,
+    num_steps=10,
+    trace_kind="markov",
+    seed=0,
+)
+
+TOPOLOGY_OVERRIDES = {
+    "hierarchical": {},
+    "clustered": {"topology": "clustered", "num_clusters": 2},
+    "gossip": {"topology": "gossip", "gossip_degree": 2},
+}
+
+
+def config_for(topology, **extra):
+    return BASE.with_overrides(**{**TOPOLOGY_OVERRIDES[topology], **extra})
+
+
+def assert_identical(a, b):
+    assert a.history.steps == b.history.steps
+    assert a.history.accuracy == b.history.accuracy
+    assert a.history.loss == b.history.loss
+    np.testing.assert_array_equal(a.participation_counts, b.participation_counts)
+
+
+class TestDefaultPairBitIdentity:
+    """hierarchical+ipw vs the verbatim pre-topology trainer."""
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_matches_reference_twin(self, executor):
+        config = BASE
+        if executor != "serial":
+            config = BASE.with_overrides(executor=executor, num_workers=2)
+        assert_identical(run_reference(BASE, "mach"), run_single(config, "mach"))
+
+    def test_twin_refuses_alternative_topologies(self):
+        config = config_for("gossip")
+        with pytest.raises(ValueError, match="hierarchical"):
+            run_reference(config, "uniform")
+
+
+class TestSeededDeterminism:
+    @pytest.mark.parametrize("topology", ["clustered", "gossip"])
+    def test_same_seed_replays_exactly(self, topology):
+        config = config_for(topology)
+        assert_identical(run_single(config, "mach"), run_single(config, "mach"))
+
+    @pytest.mark.parametrize("topology", ["clustered", "gossip"])
+    def test_thread_executor_matches_serial(self, topology):
+        config = config_for(topology)
+        threaded = config.with_overrides(executor="thread", num_workers=2)
+        assert_identical(run_single(config, "mach"), run_single(threaded, "mach"))
+
+    def test_different_seeds_diverge(self):
+        config = config_for("gossip")
+        a = run_single(config, "mach")
+        b = run_single(config.with_overrides(seed=1), "mach")
+        assert a.history.accuracy != b.history.accuracy
+
+
+class TestKillResumeParity:
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGY_KINDS))
+    def test_resume_matches_uninterrupted(self, topology, tmp_path):
+        config = config_for(topology)
+        path = str(tmp_path / "ckpt.json")
+        uninterrupted = run_single(config, "mach")
+        run_single(
+            config.with_overrides(
+                num_steps=5, checkpoint_every=5, checkpoint_path=path
+            ),
+            "mach",
+        )
+        resumed = run_single(config, "mach", resume_from=path)
+        assert_identical(uninterrupted, resumed)
+
+    def test_checkpoint_refuses_wrong_topology(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        run_single(
+            config_for("gossip").with_overrides(
+                num_steps=5, checkpoint_every=5, checkpoint_path=path
+            ),
+            "mach",
+        )
+        checkpoint = TrainerCheckpoint.load(path)
+        assert checkpoint.topology_name == "gossip"
+        assert checkpoint.aggregation_name == "gossip_avg"
+        with pytest.raises(ValueError, match="topology"):
+            run_single(config_for("clustered"), "mach", resume_from=path)
+
+    def test_checkpoint_refuses_wrong_topology_parameters(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        run_single(
+            config_for("gossip").with_overrides(
+                num_steps=5, checkpoint_every=5, checkpoint_path=path
+            ),
+            "mach",
+        )
+        with pytest.raises(ValueError, match="degree"):
+            run_single(
+                config_for("gossip", gossip_degree=3), "mach", resume_from=path
+            )

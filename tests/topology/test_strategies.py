@@ -1,0 +1,180 @@
+"""Aggregation-strategy math on hand-built plans and fake edges."""
+
+import numpy as np
+import pytest
+
+from repro.hfl.cloud import Cloud
+from repro.hfl.edge import Edge
+from repro.topology import (
+    ClusteredTopology,
+    ClusterMixAggregation,
+    GossipAveraging,
+    GossipTopology,
+    HierarchicalTopology,
+    IPWAggregation,
+    make_topology,
+)
+from repro.topology.base import weighted_group_average
+from repro.utils.rng import SeedSequenceFactory
+
+DIM = 3
+
+
+def build(topology_name, strategy, num_edges, **topology_kwargs):
+    topology = make_topology(topology_name, **topology_kwargs)
+    topology.bind(num_edges, SeedSequenceFactory(0))
+    strategy.bind(topology)
+    cloud = Cloud(DIM)
+    edges = [Edge(n, 1.0, DIM) for n in range(num_edges)]
+    return topology, strategy, cloud, edges
+
+
+def constant_uploads(values):
+    return [np.full(DIM, float(v)) for v in values]
+
+
+class TestIPW:
+    def test_matches_cloud_aggregate_and_broadcast(self):
+        topology, strategy, cloud, edges = build(
+            "hierarchical", IPWAggregation(), 3
+        )
+        counts = np.array([3.0, 1.0, 0.0])
+        uploads = constant_uploads([1.0, 5.0, 100.0])
+        plan = topology.sync_plan(0, counts)
+        strategy.apply(plan, uploads, counts, cloud, edges)
+        expected = (3 * 1.0 + 1 * 5.0) / 4  # zero-count edge contributes nothing
+        np.testing.assert_allclose(cloud.model, expected)
+        for edge in edges:
+            np.testing.assert_array_equal(edge.model, cloud.model)
+
+    def test_incompatible_with_cloudless_topologies(self):
+        gossip = make_topology("gossip")
+        gossip.bind(3, SeedSequenceFactory(0))
+        with pytest.raises(ValueError, match="does not support"):
+            IPWAggregation().bind(gossip)
+
+
+class TestClusterMix:
+    def apply(self, mixing_weight, counts, uploads, num_edges=4, clusters=2):
+        topology, strategy, cloud, edges = build(
+            "clustered",
+            ClusterMixAggregation(mixing_weight=mixing_weight),
+            num_edges,
+            num_clusters=clusters,
+        )
+        plan = topology.sync_plan(0, counts)
+        strategy.apply(plan, uploads, counts, cloud, edges)
+        return plan, cloud, edges
+
+    def test_lambda_zero_is_pure_per_cluster_training(self):
+        counts = np.array([1.0, 3.0, 2.0, 2.0])
+        plan, cloud, edges = self.apply(
+            0.0, counts, constant_uploads([0.0, 4.0, 10.0, 20.0])
+        )
+        # Cluster {0,1}: (1*0 + 3*4)/4 = 3; cluster {2,3}: (2*10 + 2*20)/4 = 15.
+        np.testing.assert_allclose(edges[0].model, 3.0)
+        np.testing.assert_allclose(edges[1].model, 3.0)
+        np.testing.assert_allclose(edges[2].model, 15.0)
+        np.testing.assert_allclose(edges[3].model, 15.0)
+        # Global = count-weighted average of the cluster models.
+        np.testing.assert_allclose(cloud.model, (4 * 3.0 + 4 * 15.0) / 8)
+
+    def test_lambda_one_is_full_neighbor_exchange(self):
+        counts = np.array([1.0, 3.0, 2.0, 2.0])
+        plan, cloud, edges = self.apply(
+            1.0, counts, constant_uploads([0.0, 4.0, 10.0, 20.0])
+        )
+        # With two clusters and uniform off-diagonal mixing, λ=1 swaps
+        # the cluster aggregates outright.
+        np.testing.assert_allclose(edges[0].model, 15.0)
+        np.testing.assert_allclose(edges[3].model, 3.0)
+
+    def test_intermediate_lambda_interpolates(self):
+        counts = np.ones(4)
+        plan, cloud, edges = self.apply(
+            0.25, counts, constant_uploads([0.0, 0.0, 8.0, 8.0])
+        )
+        np.testing.assert_allclose(edges[0].model, 0.75 * 0.0 + 0.25 * 8.0)
+        np.testing.assert_allclose(edges[2].model, 0.75 * 8.0 + 0.25 * 0.0)
+
+    def test_mixing_weight_validated(self):
+        with pytest.raises(ValueError):
+            ClusterMixAggregation(mixing_weight=1.5)
+
+    def test_devicless_cluster_falls_back_to_unweighted_mean(self):
+        counts = np.array([2.0, 2.0, 0.0, 0.0])
+        plan, cloud, edges = self.apply(
+            0.0, counts, constant_uploads([1.0, 3.0, 10.0, 30.0])
+        )
+        # Cluster {2,3} has no devices: plain mean keeps its edges live.
+        np.testing.assert_allclose(edges[2].model, 20.0)
+        # ...but it contributes zero weight to the global model.
+        np.testing.assert_allclose(cloud.model, 2.0)
+
+
+class TestGossipAveraging:
+    def test_neighborhood_uniform_mean_from_presync_uploads(self):
+        topology, strategy, cloud, edges = build(
+            "gossip", GossipAveraging(), 4, gossip_degree=2
+        )
+        counts = np.ones(4)
+        uploads = constant_uploads([0.0, 1.0, 2.0, 3.0])
+        plan = topology.sync_plan(0, counts)
+        strategy.apply(plan, uploads, counts, cloud, edges)
+        for n in range(4):
+            group = plan.groups[n]
+            expected = np.mean([uploads[k][0] for k in group])
+            np.testing.assert_allclose(edges[n].model, expected)
+        expected_global = np.mean([edge.model for edge in edges], axis=0)
+        np.testing.assert_allclose(cloud.model, expected_global)
+
+    def test_runs_on_clusters_as_unweighted_cluster_mean(self):
+        topology, strategy, cloud, edges = build(
+            "clustered", GossipAveraging(), 4, num_clusters=2
+        )
+        counts = np.array([5.0, 1.0, 1.0, 1.0])
+        uploads = constant_uploads([0.0, 4.0, 10.0, 30.0])
+        plan = topology.sync_plan(0, counts)
+        strategy.apply(plan, uploads, counts, cloud, edges)
+        # Unweighted within the cluster, regardless of member counts.
+        np.testing.assert_allclose(edges[0].model, 2.0)
+        np.testing.assert_allclose(edges[2].model, 20.0)
+
+
+class TestWeightedGroupAverage:
+    def test_weights_by_member_counts(self):
+        uploads = constant_uploads([1.0, 5.0])
+        out = weighted_group_average((0, 1), uploads, np.array([3.0, 1.0]))
+        np.testing.assert_allclose(out, 2.0)
+
+    def test_zero_count_group_uses_plain_mean(self):
+        uploads = constant_uploads([1.0, 5.0])
+        out = weighted_group_average((0, 1), uploads, np.array([0.0, 0.0]))
+        np.testing.assert_allclose(out, 3.0)
+
+
+class TestStrategyGuards:
+    @pytest.mark.parametrize(
+        "topology_name,strategy,kwargs",
+        [
+            ("hierarchical", IPWAggregation(), {}),
+            ("clustered", ClusterMixAggregation(), {"num_clusters": 2}),
+            ("gossip", GossipAveraging(), {"gossip_degree": 1}),
+        ],
+    )
+    def test_all_zero_counts_raise_everywhere(self, topology_name, strategy, kwargs):
+        topology, strategy, cloud, edges = build(
+            topology_name, strategy, 2, **kwargs
+        )
+        counts = np.zeros(2)
+        plan = topology.sync_plan(0, counts)
+        with pytest.raises(ValueError, match="no devices"):
+            strategy.apply(plan, constant_uploads([1.0, 2.0]), counts, cloud, edges)
+
+    def test_empty_upload_list_raises(self):
+        topology, strategy, cloud, edges = build(
+            "gossip", GossipAveraging(), 2, gossip_degree=1
+        )
+        plan = topology.sync_plan(0, np.ones(2))
+        with pytest.raises(ValueError, match="empty"):
+            strategy.apply(plan, [], np.array([]), cloud, edges)
