@@ -1,0 +1,28 @@
+"""Open-population dynamics: seeded device churn for the HFL engine.
+
+The churn layer makes the device population *open*: a seeded
+:class:`ChurnProcess` (arrival/departure event stream drawn from named
+``SeedSequenceFactory`` streams, so every executor backend stays
+bit-identical) maintains the enrollment mask the trainer intersects
+with the mobility trace's member sets.  Paired with the trainer's
+bounded-staleness round pipeline (late uploads parked and admitted
+with an age-discounted weight — see DESIGN.md §13), it turns the
+step-synchronous reproduction into one that survives devices arriving,
+leaving and uploading late.
+"""
+
+from repro.churn.process import ChurnProcess, ChurnStep, make_churn_process
+from repro.churn.profile import (
+    CHURN_PRESETS,
+    ChurnProfile,
+    resolve_churn_profile,
+)
+
+__all__ = [
+    "CHURN_PRESETS",
+    "ChurnProcess",
+    "ChurnProfile",
+    "ChurnStep",
+    "make_churn_process",
+    "resolve_churn_profile",
+]

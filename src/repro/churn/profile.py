@@ -1,0 +1,156 @@
+"""Churn profiles: the open-population surface of an HFL run.
+
+The paper fixes the device population for the whole run; real
+deployments do not.  A :class:`ChurnProfile` bundles the rates of the
+seeded arrival/departure process (:mod:`repro.churn.process`) that
+turns the fixed trace population into an *open* one:
+
+- **arrival** — an inactive device enrolls (powers on, installs the
+  app, re-enters the deployment) and becomes samplable;
+- **departure** — an active device de-enrolls and stops being
+  samplable until it arrives again;
+- **initial activity** — the fraction of the population enrolled at
+  step 0 (below 1.0, part of the population only trickles in over the
+  run — the cold-start regime of an always-on coordinator).
+
+Churn is *population-level* state, distinct from the per-round
+transient faults of :mod:`repro.faults` (a dropped upload comes back
+next round; a departed device is gone until the process re-admits it).
+
+Profiles are frozen and hashable so they can ride inside scenario
+configurations; :func:`resolve_churn_profile` parses the CLI string
+form (a preset name, ``key=value`` pairs, or both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.utils.validation import check_fraction
+
+__all__ = [
+    "CHURN_PRESETS",
+    "ChurnProfile",
+    "resolve_churn_profile",
+]
+
+
+@dataclass(frozen=True)
+class ChurnProfile:
+    """Rates of the seeded arrival/departure process.
+
+    The default profile is the closed world (no arrivals, no
+    departures, everyone enrolled from step 0) — constructing a trainer
+    with it is exactly equivalent to passing no profile at all.
+    """
+
+    #: Per-step probability an inactive device enrolls.
+    arrival_rate: float = 0.0
+    #: Per-step probability an active device de-enrolls.
+    departure_rate: float = 0.0
+    #: Fraction of the population enrolled at step 0.
+    initial_active_fraction: float = 1.0
+    #: Hard floor on the active-set size: departures that would shrink
+    #: the population below it are cancelled (an HFL run with zero
+    #: samplable devices is not a run).
+    min_active: int = 1
+
+    def __post_init__(self) -> None:
+        check_fraction("arrival_rate", self.arrival_rate)
+        check_fraction("departure_rate", self.departure_rate)
+        check_fraction(
+            "initial_active_fraction", self.initial_active_fraction
+        )
+        if self.min_active < 1:
+            raise ValueError(
+                f"min_active must be >= 1, got {self.min_active}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether this profile can ever change the active set."""
+        return (
+            self.arrival_rate > 0
+            or self.departure_rate > 0
+            or self.initial_active_fraction < 1.0
+        )
+
+    def with_overrides(self, **kwargs) -> "ChurnProfile":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Named profiles for the CLI and benchmarks.  "light" models a mostly
+#: stable population with a slow trickle; "moderate" a visibly open one
+#: (arrivals outpace departures so a cold-started population fills in);
+#: "heavy" stresses the staleness/robustness machinery in short smokes.
+CHURN_PRESETS: Dict[str, ChurnProfile] = {
+    "none": ChurnProfile(),
+    "light": ChurnProfile(
+        arrival_rate=0.05,
+        departure_rate=0.02,
+    ),
+    "moderate": ChurnProfile(
+        arrival_rate=0.15,
+        departure_rate=0.08,
+        initial_active_fraction=0.9,
+    ),
+    "heavy": ChurnProfile(
+        arrival_rate=0.25,
+        departure_rate=0.20,
+        initial_active_fraction=0.75,
+    ),
+}
+
+#: ``key=value`` spellings accepted by :func:`resolve_churn_profile`.
+_SPEC_KEYS = {
+    "arrival": ("arrival_rate", float),
+    "departure": ("departure_rate", float),
+    "initial_active": ("initial_active_fraction", float),
+    "min_active": ("min_active", int),
+}
+
+
+def resolve_churn_profile(
+    spec: "Optional[str | ChurnProfile]",
+) -> Optional[ChurnProfile]:
+    """Turn a CLI/scenario churn spec into a profile (``None`` stays ``None``).
+
+    Accepts a ready :class:`ChurnProfile`, a preset name (``"light"``),
+    ``key=value`` pairs (``"arrival=0.1,departure=0.05"``) or a preset
+    followed by overrides (``"moderate,min_active=4"``).  Keys:
+    ``arrival``, ``departure``, ``initial_active``, ``min_active``.
+    """
+    if spec is None or isinstance(spec, ChurnProfile):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"churn profile must be a string or ChurnProfile, got "
+            f"{type(spec).__name__}"
+        )
+    profile = ChurnProfile()
+    overrides = {}
+    for i, token in enumerate(t.strip() for t in spec.split(",") if t.strip()):
+        if "=" not in token:
+            if i != 0:
+                raise ValueError(
+                    f"preset name must come first in churn spec {spec!r}"
+                )
+            if token not in CHURN_PRESETS:
+                raise ValueError(
+                    f"unknown churn preset {token!r}; choose from "
+                    f"{sorted(CHURN_PRESETS)}"
+                )
+            profile = CHURN_PRESETS[token]
+            continue
+        key, _, value = token.partition("=")
+        key = key.strip()
+        if key not in _SPEC_KEYS:
+            raise ValueError(
+                f"unknown churn spec key {key!r}; choose from "
+                f"{sorted(_SPEC_KEYS)}"
+            )
+        field_name, cast = _SPEC_KEYS[key]
+        overrides[field_name] = cast(value)
+    return profile.with_overrides(**overrides) if overrides else profile

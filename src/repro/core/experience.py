@@ -364,6 +364,39 @@ class ExperienceTracker:
         m = self._check_device(device)
         self._participation_count[m] += 1
 
+    def initialize_arrival(self, device: int, t: int) -> bool:
+        """Seed a newly arrived device with prior-mean UCB state.
+
+        Open-population support (see :mod:`repro.churn`): a device that
+        enrolls mid-run would otherwise carry the infinite
+        never-estimated bonus, and a burst of arrivals would crowd out
+        every learned estimate for several rounds.  Instead, a device
+        the tracker has *never* tried is initialized as if it had one
+        pseudo-trial at the population's mean exploitation value — it
+        competes immediately on the current population's scale while
+        its single-trial exploration bonus still favors trying it soon.
+
+        Returning devices (any prior participation or estimate) keep
+        their learned state untouched; before the first sync there is
+        no population prior and the arrival stays in the ordinary
+        never-tried regime.  Returns whether the seeding happened.
+        Tracker-level only: the prior is a population statistic the
+        scalar :class:`DeviceExperience` twin has no view of.
+        """
+        m = self._check_device(device)
+        if self._participation_count[m] > 0 or self._has_estimate[m]:
+            return False
+        tried = self._has_exploit & (self._participation_count > 0)
+        if not tried.any():
+            return False
+        prior = float(np.mean(self._exploit[tried]))
+        self._participation_count[m] = 1
+        self._exploit[m] = prior
+        self._has_exploit[m] = True
+        self._estimate[m] = prior + math.sqrt(math.log(t + 1))
+        self._has_estimate[m] = True
+        return True
+
     def sync_all(self, t: int) -> None:
         """Edge-to-cloud step: refresh every device's UCB estimate.
 

@@ -101,6 +101,18 @@ class MACHSampler(Sampler):
         """Algorithm 2 lines 2–4: refresh every G̃²_m, clear buffers."""
         self.tracker.sync_all(t)
 
+    def on_device_joined(self, t: int, device: int) -> None:
+        """Warm-start an arrival with prior-mean UCB state.
+
+        Open-population churn support: a never-tried arrival is seeded
+        as one pseudo-trial at the population's mean exploitation value
+        (see :meth:`repro.core.experience.ExperienceTracker
+        .initialize_arrival`); a returning device keeps its learned
+        state and departures (the trainer excludes them from member
+        sets) need no hook at all.
+        """
+        self.tracker.initialize_arrival(device, t)
+
     def audit_components(self, device_indices) -> dict:
         """Eq. (15) decomposition per candidate, for the audit trail."""
         return self.tracker.audit_components(list(device_indices))

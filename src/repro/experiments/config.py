@@ -78,6 +78,13 @@ class ScenarioConfig:
     # Fault-injection spec (preset name and/or key=value pairs) resolved
     # by repro.faults.resolve_fault_profile; None = perfect world.
     fault_profile: Optional[str] = None
+    # Open-population spec (preset name and/or key=value pairs) resolved
+    # by repro.churn.resolve_churn_profile; None = closed world.
+    churn_profile: Optional[str] = None
+    # Bounded-staleness window for late uploads (0 = drop stragglers)
+    # and the per-step age discount of an admitted upload's weight.
+    max_staleness: int = 0
+    staleness_discount: float = 0.5
     checkpoint_every: Optional[int] = None  # steps between checkpoints
     checkpoint_path: Optional[str] = None  # where the checkpoint lands
     seed: int = 0
@@ -101,6 +108,19 @@ class ScenarioConfig:
             from repro.faults import resolve_fault_profile
 
             resolve_fault_profile(self.fault_profile)
+        if self.churn_profile is not None:
+            from repro.churn import resolve_churn_profile
+
+            resolve_churn_profile(self.churn_profile)
+        if self.max_staleness < 0:
+            raise ValueError(
+                f"max_staleness must be >= 0, got {self.max_staleness}"
+            )
+        if not 0.0 < self.staleness_discount <= 1.0:
+            raise ValueError(
+                f"staleness_discount must be in (0, 1], got "
+                f"{self.staleness_discount}"
+            )
         if self.checkpoint_every is not None:
             check_positive("checkpoint_every", self.checkpoint_every)
         # Validate the topology pair exactly like HFLConfig will.

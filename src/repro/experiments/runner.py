@@ -109,6 +109,9 @@ def hfl_config_for(config: ScenarioConfig, seed: int) -> HFLConfig:
         executor=config.executor,
         num_workers=config.num_workers,
         fault_profile=config.fault_profile,
+        churn_profile=config.churn_profile,
+        max_staleness=config.max_staleness,
+        staleness_discount=config.staleness_discount,
         checkpoint_every=config.checkpoint_every,
         checkpoint_path=config.checkpoint_path,
         seed=seed,
@@ -317,6 +320,24 @@ def build_parser() -> argparse.ArgumentParser:
              "key=value pairs, e.g. 'severe' or 'dropout=0.2,corruption=0.05'",
     )
     parser.add_argument(
+        "--churn", default=None, metavar="SPEC", dest="churn",
+        help="open-population churn: a preset (none/light/moderate/heavy) "
+             "and/or key=value pairs, e.g. 'moderate' or "
+             "'arrival=0.1,departure=0.05,initial_active=0.9'",
+    )
+    parser.add_argument(
+        "--max-staleness", type=int, default=None, metavar="S",
+        help="bounded-staleness window: park straggler uploads and admit "
+             "them up to S steps late with an age-discounted weight "
+             "(default: 0 = drop stragglers; needs a fault profile with "
+             "a straggler deadline to matter)",
+    )
+    parser.add_argument(
+        "--staleness-discount", type=float, default=None, metavar="D",
+        help="per-step age discount in (0, 1] applied to an admitted "
+             "late upload's weight (default: 0.5)",
+    )
+    parser.add_argument(
         "--checkpoint-every", type=int, default=None, metavar="K",
         help="write a resumable checkpoint every K completed steps",
     )
@@ -469,6 +490,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides["seed"] = args.seed
     if args.fault_profile is not None:
         overrides["fault_profile"] = args.fault_profile
+    if args.churn is not None:
+        overrides["churn_profile"] = args.churn
+    if args.max_staleness is not None:
+        overrides["max_staleness"] = args.max_staleness
+    if args.staleness_discount is not None:
+        overrides["staleness_discount"] = args.staleness_discount
     if args.checkpoint_every is not None:
         overrides["checkpoint_every"] = args.checkpoint_every
         overrides["checkpoint_path"] = args.checkpoint_path or "checkpoint.json"
@@ -479,10 +506,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     telemetry = None
     if obs is not None:
         telemetry = obs.telemetry_recorder()
-    elif args.fault_profile is not None:
+    elif args.fault_profile is not None or args.churn is not None:
         from repro.hfl.telemetry import TelemetryRecorder
 
         telemetry = TelemetryRecorder()
+
+    resume_from = None
+    if args.resume is not None:
+        # Crash-safe resume: a truncated or checksum-corrupted primary
+        # checkpoint falls back to the rotated .prev copy that save()
+        # kept from the previous write.
+        from repro.faults import TrainerCheckpoint
+
+        resume_from, used = TrainerCheckpoint.load_with_fallback(args.resume)
+        if str(used) != str(args.resume):
+            echo(
+                f"warning: checkpoint at {args.resume} is unusable; "
+                f"resuming from the rotated copy {used} "
+                f"(step {resume_from.step})"
+            )
 
     start = time.perf_counter()
     result = run_single(
@@ -490,7 +532,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.sampler,
         stop_at_target=args.stop_at_target,
         telemetry=telemetry,
-        resume_from=args.resume,
+        resume_from=resume_from,
         obs=obs,
     )
     elapsed = time.perf_counter() - start
@@ -528,6 +570,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"lost_rounds={telemetry.lost_round_count()} "
             f"stale_syncs={telemetry.stale_sync_count()} "
             f"sim_backoff={telemetry.simulated_backoff_seconds():.1f}s"
+        )
+    if telemetry is not None and (
+        config.churn_profile is not None or config.max_staleness > 0
+    ):
+        age = telemetry.mean_admitted_age()
+        age_str = f" mean_admitted_age={age:.2f}" if age is not None else ""
+        echo(
+            f"churn: joined={telemetry.devices_joined()} "
+            f"left={telemetry.devices_left()}; "
+            f"late_admits={telemetry.late_admit_count()} "
+            f"late_drops={telemetry.late_drop_count()}{age_str}"
         )
     if telemetry is not None and verbosity >= 2:
         for phase, row in telemetry.phase_summary().items():

@@ -11,6 +11,7 @@ makes long runs resumable with exact-history replay.  See DESIGN.md §8.
 from repro.faults.checkpoint import (
     CHECKPOINT_VERSION,
     LEGACY_CHECKPOINT_VERSIONS,
+    CheckpointIntegrityError,
     TrainerCheckpoint,
 )
 from repro.faults.model import (
@@ -29,6 +30,7 @@ from repro.faults.profile import (
 __all__ = [
     "CHECKPOINT_VERSION",
     "LEGACY_CHECKPOINT_VERSIONS",
+    "CheckpointIntegrityError",
     "FAULT_KINDS",
     "FAULT_PRESETS",
     "FaultModel",

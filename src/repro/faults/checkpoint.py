@@ -29,15 +29,16 @@ from incrementally accumulated partial sums.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.utils.serialization import (
     from_jsonable,
-    load_json,
     save_json,
     to_jsonable,
 )
@@ -45,12 +46,32 @@ from repro.utils.serialization import (
 #: Format marker so future layout changes can be detected on load.
 #: v2 (the topology layer) added the ``topology_name`` /
 #: ``aggregation_name`` run fingerprints and the ``topology_state``
-#: snapshot; v1 checkpoints still load, defaulting to the hierarchical
-#: + ipw pair every pre-topology run implicitly used.
-CHECKPOINT_VERSION = 2
+#: snapshot.  v3 (the open-population layer) added the ``churn_state``
+#: snapshot, the ``stale_buffer`` of parked late uploads, the
+#: ``robustness_counters`` and a SHA-256 ``payload_sha256`` integrity
+#: checksum.  v1/v2 checkpoints still load, defaulting to a closed
+#: population with an empty staleness buffer.
+CHECKPOINT_VERSION = 3
 
 #: Older formats :meth:`TrainerCheckpoint.from_dict` can still read.
-LEGACY_CHECKPOINT_VERSIONS = (1,)
+LEGACY_CHECKPOINT_VERSIONS = (1, 2)
+
+
+class CheckpointIntegrityError(ValueError):
+    """A checkpoint file is unreadable, truncated or fails its checksum."""
+
+
+def _payload_checksum(payload: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON of ``payload`` minus the checksum.
+
+    Canonical form (sorted keys, no whitespace) makes the digest
+    independent of dict insertion order and of how the file was
+    pretty-printed, so a checkpoint survives a re-serialization but
+    never a flipped bit in its data.
+    """
+    body = {k: v for k, v in payload.items() if k != "payload_sha256"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -79,11 +100,23 @@ class TrainerCheckpoint:
     topology_name: str = "hierarchical"
     aggregation_name: str = "ipw"
     topology_state: Dict[str, Any] = field(default_factory=dict)
+    #: Open-population snapshot (``None`` for a closed-world run).
+    churn_state: Optional[Dict[str, Any]] = None
+    #: Parked late uploads awaiting admission (see DESIGN.md §13).
+    stale_buffer: List[Dict[str, Any]] = field(default_factory=list)
+    #: Robustness accounting the trainer surfaces in its result
+    #: (simulated backoff, late admits/drops, churn totals).
+    robustness_counters: Dict[str, Any] = field(default_factory=dict)
     version: int = CHECKPOINT_VERSION
 
     def to_dict(self) -> Dict[str, Any]:
-        """Encode into a JSON-safe dict (arrays tagged for exactness)."""
-        return to_jsonable(
+        """Encode into a JSON-safe dict (arrays tagged for exactness).
+
+        The returned payload carries a ``payload_sha256`` checksum over
+        its canonical JSON, so :meth:`from_dict` detects any on-disk
+        corruption that still parses as JSON.
+        """
+        payload = to_jsonable(
             {
                 "version": self.version,
                 "step": self.step,
@@ -103,8 +136,13 @@ class TrainerCheckpoint:
                 "topology_name": self.topology_name,
                 "aggregation_name": self.aggregation_name,
                 "topology_state": self.topology_state,
+                "churn_state": self.churn_state,
+                "stale_buffer": self.stale_buffer,
+                "robustness_counters": self.robustness_counters,
             }
         )
+        payload["payload_sha256"] = _payload_checksum(payload)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "TrainerCheckpoint":
@@ -128,6 +166,16 @@ class TrainerCheckpoint:
                 f"(expected {CHECKPOINT_VERSION} or a legacy version in "
                 f"{LEGACY_CHECKPOINT_VERSIONS})"
             )
+        stored_checksum = payload.get("payload_sha256")
+        if stored_checksum is not None:
+            actual = _payload_checksum(payload)
+            if actual != stored_checksum:
+                raise CheckpointIntegrityError(
+                    "checkpoint payload fails its SHA-256 checksum "
+                    f"(stored {stored_checksum[:12]}…, recomputed "
+                    f"{actual[:12]}…) — the file was corrupted after it "
+                    "was written"
+                )
         decoded = from_jsonable(payload)
         return cls(
             step=int(decoded["step"]),
@@ -154,28 +202,90 @@ class TrainerCheckpoint:
             topology_name=str(decoded.get("topology_name", "hierarchical")),
             aggregation_name=str(decoded.get("aggregation_name", "ipw")),
             topology_state=dict(decoded.get("topology_state") or {}),
+            # v1/v2 checkpoints predate the open-population layer; every
+            # such run was a closed world with no staleness buffer.
+            churn_state=decoded.get("churn_state"),
+            stale_buffer=list(decoded.get("stale_buffer") or []),
+            robustness_counters=dict(decoded.get("robustness_counters") or {}),
             # Loads normalize to the current version: re-saving a
-            # legacy checkpoint writes the v2 layout.
+            # legacy checkpoint writes the v3 layout.
             version=CHECKPOINT_VERSION,
         )
+
+    @staticmethod
+    def previous_path(path: Union[str, Path]) -> Path:
+        """Where :meth:`save` rotates the previously saved checkpoint."""
+        path = Path(path)
+        return path.with_name(path.name + ".prev")
 
     def save(self, path: Union[str, Path]) -> Path:
         """Write the checkpoint atomically (write-then-rename).
 
         A crash mid-write must never leave a truncated checkpoint where
-        a resumable one used to be.
+        a resumable one used to be.  An existing checkpoint at ``path``
+        is rotated to ``<name>.prev`` first, so even post-write
+        corruption of the newest file (bad disk, concurrent truncation)
+        leaves one older resumable snapshot behind —
+        :meth:`load_with_fallback` picks it up.
         """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(path.name + ".tmp")
         save_json(self.to_dict(), tmp)
+        if path.exists():
+            path.replace(self.previous_path(path))
         tmp.replace(path)
         return path
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "TrainerCheckpoint":
-        """Read a checkpoint written by :meth:`save`."""
+        """Read a checkpoint written by :meth:`save`.
+
+        Raises :class:`CheckpointIntegrityError` (naming the file) when
+        the file is truncated, not valid JSON, not a checkpoint object,
+        or fails its payload checksum — distinct from
+        :class:`FileNotFoundError` so callers can fall back to the
+        rotated copy only on integrity failures they can explain.
+        """
         path = Path(path)
         if not path.exists():
             raise FileNotFoundError(f"no checkpoint at {path}")
-        return cls.from_dict(load_json(path))
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CheckpointIntegrityError(
+                f"checkpoint at {path} is truncated or not valid JSON "
+                f"({exc})"
+            ) from None
+        if not isinstance(payload, dict):
+            raise CheckpointIntegrityError(
+                f"checkpoint at {path} is valid JSON but not a checkpoint "
+                f"object (top-level {type(payload).__name__})"
+            )
+        try:
+            return cls.from_dict(payload)
+        except CheckpointIntegrityError as exc:
+            raise CheckpointIntegrityError(
+                f"checkpoint at {path}: {exc}"
+            ) from None
+
+    @classmethod
+    def load_with_fallback(
+        cls, path: Union[str, Path]
+    ) -> Tuple["TrainerCheckpoint", Path]:
+        """Load ``path``, falling back to its rotated ``.prev`` copy.
+
+        Returns ``(checkpoint, path_actually_loaded)``.  The fallback
+        fires when the primary file is missing, truncated or fails its
+        checksum; if the rotated copy is no better, the *primary* error
+        propagates (it names the file the caller asked for).
+        """
+        path = Path(path)
+        try:
+            return cls.load(path), path
+        except (FileNotFoundError, CheckpointIntegrityError) as primary:
+            prev = cls.previous_path(path)
+            try:
+                return cls.load(prev), prev
+            except (FileNotFoundError, CheckpointIntegrityError):
+                raise primary from None

@@ -82,6 +82,27 @@ class HFLConfig:
         profile for the perfect world.  Faults are drawn from named
         ``(step, edge, device)`` seed streams, so runs stay
         bit-identical across executor backends under any profile.
+    churn_profile:
+        Open-population dynamics for the run — a
+        :class:`repro.churn.ChurnProfile`, a spec string accepted by
+        :func:`repro.churn.resolve_churn_profile` (e.g. ``"moderate"``
+        or ``"arrival=0.1,departure=0.05"``), or ``None`` / an inactive
+        profile for the paper's closed world.  Arrivals and departures
+        are drawn from named seed streams of a ``"churn"`` child
+        factory, so runs stay bit-identical across executor backends
+        under any profile.
+    max_staleness:
+        Bounded-staleness window for late uploads: a sampled upload
+        that misses the straggler deadline is parked and admitted into
+        a later aggregate up to this many steps after its round, with
+        an age-discounted weight (``staleness_discount ** age``).  The
+        default 0 keeps today's behavior — stragglers are dropped — and
+        is required for bit-identity with the pre-churn trainer.
+        Nonzero values only matter under a fault profile with a
+        straggler deadline (otherwise no upload is ever late).
+    staleness_discount:
+        Per-step age discount applied to an admitted late upload's
+        aggregation weight, in (0, 1].
     checkpoint_every:
         Write a resumable :class:`repro.faults.TrainerCheckpoint` every
         this many completed steps (``None`` disables checkpointing).
@@ -123,6 +144,9 @@ class HFLConfig:
     executor: str = "serial"
     num_workers: Optional[int] = None
     fault_profile: Optional[object] = None
+    churn_profile: Optional[object] = None
+    max_staleness: int = 0
+    staleness_discount: float = 0.5
     checkpoint_every: Optional[int] = None
     checkpoint_path: Optional[str] = None
     topology: str = "hierarchical"
@@ -151,6 +175,19 @@ class HFLConfig:
         from repro.faults.profile import resolve_fault_profile
 
         self.fault_profile = resolve_fault_profile(self.fault_profile)
+        # Churn rides the same deferred-import pattern for consistency.
+        from repro.churn.profile import resolve_churn_profile
+
+        self.churn_profile = resolve_churn_profile(self.churn_profile)
+        if self.max_staleness < 0:
+            raise ValueError(
+                f"max_staleness must be >= 0, got {self.max_staleness}"
+            )
+        if not 0.0 < self.staleness_discount <= 1.0:
+            raise ValueError(
+                f"staleness_discount must be in (0, 1], got "
+                f"{self.staleness_discount}"
+            )
         # Same deferred-import rationale once more: repro.topology is
         # imported by the trainer, which sits above this module.
         from repro.topology import validate_pair

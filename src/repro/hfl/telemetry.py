@@ -84,6 +84,50 @@ class DegradedRoundRecord:
 
 
 @dataclass(frozen=True)
+class ChurnRecord:
+    """One step's population change (open-population churn)."""
+
+    t: int
+    #: Devices that enrolled this step.
+    joined: List[int]
+    #: Devices that de-enrolled this step.
+    left: List[int]
+    #: Active-set size after the transition.
+    num_active: int
+
+
+@dataclass(frozen=True)
+class LateAdmitRecord:
+    """A parked straggler upload admitted into a later aggregate."""
+
+    t: int
+    edge: int
+    device: int
+    #: The round the upload was computed in.
+    born_step: int
+    #: ``t - born_step``, bounded by the configured ``max_staleness``.
+    age: int
+    #: Age-discount factor applied to the upload's IPW weight.
+    scale: float
+
+
+@dataclass(frozen=True)
+class LateDropRecord:
+    """A parked upload discarded at admission time.
+
+    The only drop reason today is churn: the device de-enrolled while
+    its upload sat in the staleness buffer (the mid-round-departure ×
+    late-admit interaction).
+    """
+
+    t: int
+    edge: int
+    device: int
+    born_step: int
+    age: int
+
+
+@dataclass(frozen=True)
 class SyncAttemptRecord:
     """One edge's edge→cloud attempt sequence at a sync step."""
 
@@ -105,6 +149,13 @@ class TelemetryRecorder:
         self.fault_counts: Dict[str, int] = {}
         self.degraded_rounds: List[DegradedRoundRecord] = []
         self.sync_attempts: List[SyncAttemptRecord] = []
+        #: Open-population churn and bounded-staleness streams — kept
+        #: outside ``fault_counts`` on purpose: churn and late admits
+        #: are population dynamics, not injected faults, and mixing the
+        #: keys would change every existing fault summary.
+        self.churn_records: List[ChurnRecord] = []
+        self.late_admits: List[LateAdmitRecord] = []
+        self.late_drops: List[LateDropRecord] = []
         #: Accumulated wall-clock seconds per engine phase (plan /
         #: execute / finish / sync / eval) — see :meth:`record_phase`.
         self.phase_seconds: Dict[str, float] = {}
@@ -184,6 +235,43 @@ class TelemetryRecorder:
             self.fault_counts["stale_sync"] = (
                 self.fault_counts.get("stale_sync", 0) + 1
             )
+
+    def record_churn(
+        self, t: int, joined: List[int], left: List[int], num_active: int
+    ) -> None:
+        """Record one step's population change (no-op when nothing moved)."""
+        if not joined and not left:
+            return
+        self.churn_records.append(
+            ChurnRecord(
+                t=t,
+                joined=[int(m) for m in joined],
+                left=[int(m) for m in left],
+                num_active=int(num_active),
+            )
+        )
+
+    def record_late_admit(
+        self, t: int, edge: int, device: int, born_step: int, age: int,
+        scale: float,
+    ) -> None:
+        """Record a parked upload admitted with an age-discounted weight."""
+        self.late_admits.append(
+            LateAdmitRecord(
+                t=t, edge=edge, device=device, born_step=born_step,
+                age=age, scale=scale,
+            )
+        )
+
+    def record_late_drop(
+        self, t: int, edge: int, device: int, born_step: int, age: int
+    ) -> None:
+        """Record a parked upload discarded at admission (device gone)."""
+        self.late_drops.append(
+            LateDropRecord(
+                t=t, edge=edge, device=device, born_step=born_step, age=age
+            )
+        )
 
     def record_phase(self, phase: str, seconds: float) -> None:
         """Accumulate wall-clock time spent in one engine phase.
@@ -298,6 +386,28 @@ class TelemetryRecorder:
         """Total simulated edge→cloud retry backoff across the run."""
         return float(sum(r.backoff_seconds for r in self.sync_attempts))
 
+    def devices_joined(self) -> int:
+        """Total churn arrivals across the run."""
+        return sum(len(r.joined) for r in self.churn_records)
+
+    def devices_left(self) -> int:
+        """Total churn departures across the run."""
+        return sum(len(r.left) for r in self.churn_records)
+
+    def late_admit_count(self) -> int:
+        """Parked straggler uploads that made it into an aggregate."""
+        return len(self.late_admits)
+
+    def late_drop_count(self) -> int:
+        """Parked uploads discarded because the device de-enrolled."""
+        return len(self.late_drops)
+
+    def mean_admitted_age(self) -> Optional[float]:
+        """Mean staleness age of the admitted late uploads (None if none)."""
+        if not self.late_admits:
+            return None
+        return float(np.mean([r.age for r in self.late_admits]))
+
     # -- checkpointing -------------------------------------------------------
 
     def state_dict(self) -> dict:
@@ -314,6 +424,9 @@ class TelemetryRecorder:
             "fault_counts": dict(self.fault_counts),
             "degraded_rounds": [asdict(r) for r in self.degraded_rounds],
             "sync_attempts": [asdict(r) for r in self.sync_attempts],
+            "churn_records": [asdict(r) for r in self.churn_records],
+            "late_admits": [asdict(r) for r in self.late_admits],
+            "late_drops": [asdict(r) for r in self.late_drops],
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -344,4 +457,20 @@ class TelemetryRecorder:
         ]
         self.sync_attempts = [
             SyncAttemptRecord(**r) for r in state.get("sync_attempts", [])
+        ]
+        # .get defaults keep pre-churn telemetry snapshots loadable.
+        self.churn_records = [
+            ChurnRecord(
+                t=int(r["t"]),
+                joined=[int(m) for m in r["joined"]],
+                left=[int(m) for m in r["left"]],
+                num_active=int(r["num_active"]),
+            )
+            for r in state.get("churn_records", [])
+        ]
+        self.late_admits = [
+            LateAdmitRecord(**r) for r in state.get("late_admits", [])
+        ]
+        self.late_drops = [
+            LateDropRecord(**r) for r in state.get("late_drops", [])
         ]

@@ -37,6 +37,17 @@ named ``(step, edge, device)`` seed streams, so the executor-backend
 bit-identity contract holds under any profile, and
 checkpoint/resume (:class:`repro.faults.TrainerCheckpoint`) replays a
 killed run exactly.
+
+Open population (see :mod:`repro.churn` and DESIGN.md §13): an active
+churn profile turns the fixed device population into a seeded
+arrival/departure stream — departed devices vanish from the samplable
+member sets, arrivals are warm-started in the sampler.  With
+``max_staleness > 0`` a straggler upload is *parked* instead of
+dropped and admitted into a later aggregate with an age-discounted
+weight (``staleness_discount ** age``), bounded by the staleness
+window.  Both features default off, and when off the trainer follows
+exactly the pre-churn code paths and consumes exactly the same seed
+streams — bit-identical histories, on every executor backend.
 """
 
 from __future__ import annotations
@@ -48,6 +59,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.churn import ChurnProcess, make_churn_process
 from repro.data.dataset import Dataset
 from repro.faults import FaultModel, TrainerCheckpoint, make_fault_model
 from repro.hfl.cloud import Cloud
@@ -68,6 +80,7 @@ from repro.runtime import (
 from repro.sampling.base import DeviceProfile, Sampler
 from repro.topology import make_aggregation, make_topology
 from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import check_finite
 
 
 @dataclass
@@ -82,6 +95,16 @@ class TrainingResult:
     reached_target_at: Optional[int] = None
     #: Per-evaluation probability spread diagnostics (max/min q per edge).
     diagnostics: Dict[str, float] = field(default_factory=dict)
+    #: Total simulated edge→cloud retry backoff accumulated by the run's
+    #: latency accounting (0.0 for a fault-free run).
+    simulated_backoff_seconds: float = 0.0
+    #: Parked straggler uploads admitted into a later aggregate.
+    late_admits: int = 0
+    #: Parked uploads discarded because the device de-enrolled.
+    late_drops: int = 0
+    #: Churn arrivals / departures over the run (0 for a closed world).
+    devices_joined: int = 0
+    devices_left: int = 0
 
     def time_to_accuracy(self, target: float) -> Optional[int]:
         return self.history.time_to_accuracy(target)
@@ -95,6 +118,31 @@ class _PendingRound:
     members: np.ndarray
     probabilities: np.ndarray
     plan: EdgeRoundPlan
+
+
+@dataclass
+class _StaleUpload:
+    """A straggler upload parked in the bounded-staleness buffer.
+
+    The upload is frozen as the *delta* against its round's start model
+    with its round's IPW weight, so admission is a single discounted
+    axpy onto whatever the edge model has become by then (the same
+    shape as the delta-mode aggregation it missed).
+    """
+
+    device: int
+    edge: int
+    #: The round the upload was computed in.
+    born_step: int
+    #: The step whose finish phase admits (or drops) the upload.
+    admit_step: int
+    #: The Eq. (5) weight the upload would have carried in its round.
+    weight: float
+    #: ``final_model - round_start_model`` of the local update.
+    delta: np.ndarray
+    #: Deferred sampler feedback, applied only on admission.
+    grad_sq_norms: List[float]
+    mean_loss: float
 
 
 class HFLTrainer:
@@ -113,6 +161,13 @@ class HFLTrainer:
     (no model when the profile is absent or inactive); a ready
     :class:`~repro.faults.FaultModel` instance is used as-is (tests
     inject deterministic stubs this way).
+
+    ``churn`` opens the population: ``None`` derives a
+    :class:`~repro.churn.ChurnProcess` from ``config.churn_profile``
+    (no process when the profile is absent or inactive, which keeps
+    the closed-world fast path bit-identical to the pre-churn
+    trainer); a ready process instance is used as-is (tests inject
+    scripted populations this way).  See DESIGN.md §13.
 
     ``obs`` attaches a :class:`repro.obs.Observability` handle (event
     log, span tracer, metrics registry, MACH audit trail — any subset).
@@ -133,6 +188,7 @@ class HFLTrainer:
         telemetry: Optional["TelemetryRecorder"] = None,
         executor: Optional[Union[str, Executor]] = None,
         fault_model: Optional[FaultModel] = None,
+        churn: Optional[ChurnProcess] = None,
         obs=None,
     ) -> None:
         if len(device_datasets) != trace.num_devices:
@@ -204,6 +260,20 @@ class HFLTrainer:
         if self.fault_model is not None:
             self.fault_model.bind(trace.num_devices, self._seeds)
 
+        # Open-population churn and the bounded-staleness buffer.  Both
+        # default off: with no churn process and max_staleness == 0 the
+        # engine follows exactly the pre-churn code paths (the
+        # reference-twin bit-identity contract, tested in tests/churn).
+        if churn is None:
+            churn = make_churn_process(config.churn_profile)
+        self.churn: Optional[ChurnProcess] = churn
+        if self.churn is not None:
+            self.churn.bind(trace.num_devices, self._seeds)
+            self.churn.reset()
+        self._max_staleness = config.max_staleness
+        self._staleness_discount = config.staleness_discount
+        self._stale_buffer: List[_StaleUpload] = []
+
         if executor is None:
             executor = config.executor
         if isinstance(executor, str):
@@ -246,12 +316,23 @@ class HFLTrainer:
             self._loss_gauge = self._metrics.gauge(
                 "repro_eval_loss", "Latest global-model test loss"
             )
+            self._stale_buffer_gauge = self._metrics.gauge(
+                "repro_stale_buffer_size",
+                "Late uploads currently parked in the staleness buffer",
+            )
 
         # Run-progress state, mutated by run() and snapshot by checkpoints.
         self._history = TrainingHistory()
         self._participation_counts = np.zeros(trace.num_devices, dtype=int)
         self._total_participants = 0
         self._reached_at: Optional[int] = None
+        # Robustness accounting (checkpointed so resume replays it):
+        # simulated sync backoff, staleness-buffer outcomes and churn.
+        self._sim_backoff_seconds = 0.0
+        self._late_admits = 0
+        self._late_drops = 0
+        self._devices_joined = 0
+        self._devices_left = 0
 
     # ------------------------------------------------------------------
 
@@ -271,6 +352,11 @@ class HFLTrainer:
     def _plan_round(self, t: int, edge: Edge) -> Optional[_PendingRound]:
         """Plan phase for one edge: strategy, oracle probes, indicators."""
         members = self.trace.devices_at(t, edge.edge_id)
+        if self.churn is not None:
+            # Open population: only enrolled devices are samplable.  The
+            # trace stays the closed-world ground truth of *where*
+            # devices are; churn masks *who* currently exists.
+            members = members[self.churn.active_mask[members]]
         if members.size == 0:
             return None
         probabilities = self.sampler.probabilities(
@@ -328,14 +414,18 @@ class HFLTrainer:
         t: int,
         edge_id: int,
         results: Dict[int, LocalUpdateResult],
-    ) -> "tuple[Dict[int, LocalUpdateResult], Dict[int, str]]":
+    ) -> "tuple[Dict[int, LocalUpdateResult], Dict[int, str], Dict[int, LocalUpdateResult]]":
         """Pass every sampled upload through the fault model.
 
-        Returns the surviving results and the failures (device → fault
-        kind).  Mobility coupling: a device inside the edge at the plan
-        phase (step ``t``) but outside it by the finish phase (step
-        ``t + 1`` of the trace) may depart mid-round and lose its
-        upload.  Surviving payloads are additionally screened for
+        Returns the surviving results, the failures (device → fault
+        kind) and the *parked* uploads: with ``max_staleness > 0`` a
+        straggler upload is no longer dropped but handed back for the
+        bounded-staleness buffer (it missed this round's deadline, so
+        it joins a later aggregate with an age-discounted weight).
+        Mobility coupling: a device inside the edge at the plan phase
+        (step ``t``) but outside it by the finish phase (step ``t + 1``
+        of the trace) may depart mid-round and lose its upload.
+        Surviving and parked payloads are additionally screened for
         non-finite values — the receiver-side integrity check that keeps
         a corrupted upload from ever reaching aggregation.
         """
@@ -345,12 +435,20 @@ class HFLTrainer:
         next_row = self.trace.assignment_row(t + 1)
         surviving: Dict[int, LocalUpdateResult] = {}
         failures: Dict[int, str] = {}
+        parked: Dict[int, LocalUpdateResult] = {}
+        park_late = self._max_staleness > 0
         for m in sorted(results):
             result = results[m]
             departed = int(next_row[m]) != edge_id
             kind = self.fault_model.upload_fault(
                 t, edge_id, m, departed, num_sampled
             )
+            if kind == "straggler" and park_late:
+                # Late, not lost: the payload is intact (a straggler
+                # never reaches the corruption draw), it just missed
+                # the deadline.
+                parked[m] = result
+                continue
             if kind is not None:
                 failures[m] = kind
                 continue
@@ -364,7 +462,11 @@ class HFLTrainer:
             if not np.all(np.isfinite(surviving[m].final_model)):
                 failures[m] = "corruption"
                 del surviving[m]
-        return surviving, failures
+        for m in sorted(parked):
+            if not np.all(np.isfinite(parked[m].final_model)):
+                failures[m] = "corruption"
+                del parked[m]
+        return surviving, failures, parked
 
     def _finish_round(
         self,
@@ -374,11 +476,14 @@ class HFLTrainer:
     ) -> int:
         """Finish phase for one edge round; returns the survivor count."""
         failures: Dict[int, str] = {}
+        parked: Dict[int, LocalUpdateResult] = {}
         num_sampled = len(results)
         if self.fault_model is not None and results:
-            results, failures = self._screen_uploads(
+            results, failures, parked = self._screen_uploads(
                 t, pending.edge.edge_id, results
             )
+        if parked:
+            self._park_uploads(t, pending, parked, num_sampled)
 
         for m in pending.members:
             result = results.get(int(m))
@@ -390,16 +495,19 @@ class HFLTrainer:
             elif int(m) in failures:
                 # Sampled but failed: reliability feedback, no experience.
                 self.sampler.observe_failure(t, int(m))
+            # Parked devices get neither: their feedback is deferred to
+            # the admission (or drop) of their buffered upload.
 
         pending.edge.aggregate(
             list(pending.members),
             pending.probabilities,
             results,
             mode=self.config.aggregation,
-            # A fault changed the realized participation away from the
-            # strategy's q: average over the survivors instead of
-            # trusting the now-miscalibrated IPW weights.
-            renormalize=bool(failures),
+            # A fault (or a parked straggler) changed the realized
+            # participation away from the strategy's q: average over
+            # the survivors instead of trusting the now-miscalibrated
+            # IPW weights.
+            renormalize=bool(failures) or bool(parked),
         )
         if self.telemetry is not None:
             participants = [int(m) for m in pending.members if int(m) in results]
@@ -417,6 +525,124 @@ class HFLTrainer:
             )
         return len(results)
 
+    def _park_uploads(
+        self,
+        t: int,
+        pending: _PendingRound,
+        parked: Dict[int, LocalUpdateResult],
+        num_sampled: int,
+    ) -> None:
+        """Move late uploads into the bounded-staleness buffer.
+
+        Each parked upload is frozen as its round's delta and Eq. (5)
+        weight and assigned an admission step drawn from a named
+        ``(step, edge, device)`` seed stream — state-independent
+        streams, so the draw is bit-identical across executors and
+        under kill/resume.  Admission happens in the finish phase of
+        ``admit_step`` (see :meth:`_admit_stale`).
+        """
+        position = {int(m): i for i, m in enumerate(pending.members)}
+        for m in sorted(parked):
+            result = parked[m]
+            delay = int(
+                self._seeds.round_generator(
+                    t, pending.edge.edge_id, f"staleness/{m}"
+                ).integers(1, self._max_staleness + 1)
+            )
+            if self.config.aggregation == "fedavg":
+                weight = 1.0 / max(num_sampled, 1)
+            else:
+                q = float(pending.probabilities[position[m]])
+                weight = 1.0 / (len(pending.members) * q)
+            self._stale_buffer.append(
+                _StaleUpload(
+                    device=m,
+                    edge=pending.edge.edge_id,
+                    born_step=t,
+                    admit_step=t + delay,
+                    weight=weight,
+                    delta=result.final_model - pending.plan.start_model,
+                    grad_sq_norms=list(result.grad_sq_norms),
+                    mean_loss=float(result.mean_loss),
+                )
+            )
+        if self._metrics is not None:
+            self._stale_buffer_gauge.set(float(len(self._stale_buffer)))
+
+    def _admit_stale(self, t: int) -> None:
+        """Admit (or drop) the buffered uploads due at step ``t``.
+
+        An admitted upload lands as a single age-discounted axpy on the
+        *current* edge model — ``w_n += discount**age * weight * delta``
+        — and only then feeds its deferred experience to the sampler
+        (so MACH credits the device at admission time, not at the
+        round it missed).  An upload whose device has since left the
+        population is dropped with failure feedback instead.  Due
+        uploads are processed in ``(born_step, edge, device)`` order so
+        overlapping admissions are deterministic.
+        """
+        if not self._stale_buffer:
+            return
+        due = [u for u in self._stale_buffer if u.admit_step <= t]
+        if not due:
+            return
+        self._stale_buffer = [u for u in self._stale_buffer if u.admit_step > t]
+        due.sort(key=lambda u: (u.born_step, u.edge, u.device))
+        for upload in due:
+            age = t - upload.born_step
+            if self.churn is not None and not bool(
+                self.churn.active_mask[upload.device]
+            ):
+                # The straggler de-enrolled before its upload landed.
+                self._late_drops += 1
+                self.sampler.observe_failure(t, upload.device)
+                if self.telemetry is not None:
+                    self.telemetry.record_late_drop(
+                        t, upload.edge, upload.device, upload.born_step, age
+                    )
+                continue
+            scale = (self._staleness_discount ** age) * upload.weight
+            edge = self.edges[upload.edge]
+            edge.model = edge.model + scale * upload.delta
+            check_finite("stale-admitted edge model", edge.model)
+            self.sampler.observe_participation(
+                t, upload.device, upload.grad_sq_norms, upload.mean_loss
+            )
+            self._participation_counts[upload.device] += 1
+            self._total_participants += 1
+            self._late_admits += 1
+            if self.telemetry is not None:
+                self.telemetry.record_late_admit(
+                    t,
+                    upload.edge,
+                    upload.device,
+                    upload.born_step,
+                    age,
+                    scale,
+                )
+        if self._metrics is not None:
+            self._stale_buffer_gauge.set(float(len(self._stale_buffer)))
+
+    def _apply_churn(self, t: int) -> None:
+        """Advance the churn process one step and notify the sampler.
+
+        Departures are announced before arrivals (matching the draw
+        order inside :meth:`repro.churn.ChurnProcess.step`), each in
+        ascending device order, so sampler warm-starts see a
+        deterministic population.
+        """
+        step = self.churn.step(t)
+        for m in step.left:
+            self.sampler.on_device_left(t, m)
+        for m in step.joined:
+            self.sampler.on_device_joined(t, m)
+        self._devices_joined += len(step.joined)
+        self._devices_left += len(step.left)
+        if self.telemetry is not None:
+            self.telemetry.record_churn(
+                t, step.joined, step.left, step.num_active
+            )
+
     def _train_step(self, t: int) -> int:
         """One full time step; returns the total participant count.
 
@@ -431,6 +657,10 @@ class HFLTrainer:
         tracer = self._tracer
         t0 = clock()
         with tracer.span("plan"):
+            if self.churn is not None:
+                # Population turnover lands before planning: this step's
+                # strategies see the post-churn member sets.
+                self._apply_churn(t)
             pending = [self._plan_round(t, edge) for edge in self.edges]
             active = [p for p in pending if p is not None]
         t1 = clock()
@@ -444,6 +674,10 @@ class HFLTrainer:
                 self._finish_round(t, p, results)
                 for p, results in zip(active, step_results)
             )
+            if self._max_staleness > 0:
+                # Late uploads whose deadline extension expires this
+                # step join the post-round edge models.
+                self._admit_stale(t)
         if self.telemetry is not None:
             t3 = clock()
             self.telemetry.record_phase("plan", t1 - t0)
@@ -499,6 +733,10 @@ class HFLTrainer:
         uploads: List[np.ndarray] = []
         for n, edge in enumerate(self.edges):
             outcome = self.fault_model.sync_outcome(t, n)
+            # Simulated wall-clock: every retry's exponential backoff
+            # counts against the run's latency budget whether or not
+            # the upload ultimately succeeded.
+            self._sim_backoff_seconds += outcome.backoff_seconds
             if outcome.success:
                 self._last_synced[n] = edge.model.copy()
                 uploads.append(edge.model)
@@ -572,6 +810,29 @@ class HFLTrainer:
             telemetry_state=(
                 self.telemetry.state_dict() if self.telemetry is not None else None
             ),
+            churn_state=(
+                self.churn.state_dict() if self.churn is not None else None
+            ),
+            stale_buffer=[
+                {
+                    "device": u.device,
+                    "edge": u.edge,
+                    "born_step": u.born_step,
+                    "admit_step": u.admit_step,
+                    "weight": u.weight,
+                    "delta": u.delta.copy(),
+                    "grad_sq_norms": list(u.grad_sq_norms),
+                    "mean_loss": u.mean_loss,
+                }
+                for u in self._stale_buffer
+            ],
+            robustness_counters={
+                "sim_backoff_seconds": self._sim_backoff_seconds,
+                "late_admits": self._late_admits,
+                "late_drops": self._late_drops,
+                "devices_joined": self._devices_joined,
+                "devices_left": self._devices_left,
+            },
         )
 
     def restore_checkpoint(
@@ -637,6 +898,36 @@ class HFLTrainer:
             self._participation_counts = np.zeros(self.trace.num_devices, dtype=int)
         self._total_participants = checkpoint.total_participants
         self._reached_at = checkpoint.reached_target_at
+        if (checkpoint.churn_state is not None) != (self.churn is not None):
+            raise ValueError(
+                "checkpoint churn state does not match the trainer: "
+                f"checkpoint {'has' if checkpoint.churn_state else 'lacks'} "
+                "a churn process, the trainer "
+                f"{'has' if self.churn is not None else 'lacks'} one"
+            )
+        if self.churn is not None:
+            self.churn.load_state_dict(checkpoint.churn_state)
+        self._stale_buffer = [
+            _StaleUpload(
+                device=int(entry["device"]),
+                edge=int(entry["edge"]),
+                born_step=int(entry["born_step"]),
+                admit_step=int(entry["admit_step"]),
+                weight=float(entry["weight"]),
+                delta=np.asarray(entry["delta"], dtype=float),
+                grad_sq_norms=[float(g) for g in entry["grad_sq_norms"]],
+                mean_loss=float(entry["mean_loss"]),
+            )
+            for entry in checkpoint.stale_buffer
+        ]
+        counters = checkpoint.robustness_counters or {}
+        self._sim_backoff_seconds = float(
+            counters.get("sim_backoff_seconds", 0.0)
+        )
+        self._late_admits = int(counters.get("late_admits", 0))
+        self._late_drops = int(counters.get("late_drops", 0))
+        self._devices_joined = int(counters.get("devices_joined", 0))
+        self._devices_left = int(counters.get("devices_left", 0))
         return checkpoint.step
 
     def _maybe_write_checkpoint(self, steps_completed: int) -> None:
@@ -680,6 +971,16 @@ class HFLTrainer:
         self._participation_counts = np.zeros(self.trace.num_devices, dtype=int)
         self._total_participants = 0
         self._reached_at = None
+        self._sim_backoff_seconds = 0.0
+        self._late_admits = 0
+        self._late_drops = 0
+        self._devices_joined = 0
+        self._devices_left = 0
+        self._stale_buffer = []
+        if self.churn is not None:
+            # Idempotent: same "initial-active" stream as __init__, so a
+            # fresh run always starts from the same population draw.
+            self.churn.reset()
         start_step = 0
         if resume_from is not None:
             start_step = self.restore_checkpoint(resume_from)
@@ -704,6 +1005,8 @@ class HFLTrainer:
                 sync_interval=self.config.sync_interval,
                 eval_interval=eval_interval,
                 resumed=resume_from is not None,
+                churn=self.churn.describe() if self.churn is not None else None,
+                max_staleness=self._max_staleness,
             )
 
         clock = time.perf_counter
@@ -763,6 +1066,11 @@ class HFLTrainer:
             participation_counts=self._participation_counts.copy(),
             mean_participants_per_step=self._total_participants / steps_run,
             reached_target_at=self._reached_at,
+            simulated_backoff_seconds=self._sim_backoff_seconds,
+            late_admits=self._late_admits,
+            late_drops=self._late_drops,
+            devices_joined=self._devices_joined,
+            devices_left=self._devices_left,
         )
         if self._events is not None:
             self._events.emit(

@@ -70,6 +70,29 @@ class ObservedTelemetryRecorder(TelemetryRecorder):
                 "Engine wall-clock per phase call",
                 buckets=PHASE_SECONDS_BUCKETS,
             )
+            self._joined_total = metrics.counter(
+                "repro_devices_joined_total", "Churn arrivals (enrollments)"
+            )
+            self._left_total = metrics.counter(
+                "repro_devices_left_total", "Churn departures (de-enrollments)"
+            )
+            self._active_gauge = metrics.gauge(
+                "repro_active_devices",
+                "Enrolled devices after the latest churn transition",
+            )
+            self._late_admits_total = metrics.counter(
+                "repro_late_admits_total",
+                "Parked late uploads admitted into a later aggregate",
+            )
+            self._late_drops_total = metrics.counter(
+                "repro_late_drops_total",
+                "Parked late uploads dropped (device de-enrolled)",
+            )
+            self._staleness_age = metrics.histogram(
+                "repro_staleness_age_steps",
+                "Age in steps of admitted late uploads",
+                buckets=(1.0, 2.0, 3.0, 5.0, 8.0, 13.0),
+            )
 
     # -- mirrored hooks ------------------------------------------------------
 
@@ -159,6 +182,76 @@ class ObservedTelemetryRecorder(TelemetryRecorder):
             if used_stale:
                 self._stale_total.inc()
             self._backoff_total.inc(backoff_seconds)
+
+    def record_churn(
+        self, t: int, joined: List[int], left: List[int], num_active: int
+    ) -> None:
+        super().record_churn(t, joined, left, num_active)
+        if not joined and not left:
+            return
+        events = self._obs.events
+        if events is not None:
+            # One event per device (departures first, matching the
+            # transition order inside the trainer); each carries the
+            # post-transition active count so replay can rebuild the
+            # ChurnRecord exactly by grouping on t.
+            for device in left:
+                events.emit(
+                    "device_left",
+                    t=t,
+                    device=int(device),
+                    num_active=int(num_active),
+                )
+            for device in joined:
+                events.emit(
+                    "device_joined",
+                    t=t,
+                    device=int(device),
+                    num_active=int(num_active),
+                )
+        if self._obs.metrics is not None:
+            if joined:
+                self._joined_total.inc(len(joined))
+            if left:
+                self._left_total.inc(len(left))
+            self._active_gauge.set(float(num_active))
+
+    def record_late_admit(
+        self, t: int, edge: int, device: int, born_step: int, age: int,
+        scale: float,
+    ) -> None:
+        super().record_late_admit(t, edge, device, born_step, age, scale)
+        events = self._obs.events
+        if events is not None:
+            events.emit(
+                "late_admit",
+                t=t,
+                edge=edge,
+                device=device,
+                born_step=born_step,
+                age=age,
+                scale=scale,
+            )
+        if self._obs.metrics is not None:
+            self._late_admits_total.inc()
+            self._staleness_age.observe(float(age))
+
+    def record_late_drop(
+        self, t: int, edge: int, device: int, born_step: int, age: int
+    ) -> None:
+        super().record_late_drop(t, edge, device, born_step, age)
+        events = self._obs.events
+        if events is not None:
+            events.emit(
+                "late_drop",
+                t=t,
+                edge=edge,
+                device=device,
+                born_step=born_step,
+                age=age,
+            )
+        if self._obs.metrics is not None:
+            self._late_drops_total.inc()
 
     def record_phase(self, phase: str, seconds: float) -> None:
         super().record_phase(phase, seconds)

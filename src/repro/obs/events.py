@@ -12,6 +12,10 @@ typed engine event:
 ``sync_attempt``    an edge→cloud attempt sequence hit ≥ 1 failure
 ``sampling``        MACH decision audit for one (step, edge) — see
                     :mod:`repro.obs.audit`
+``device_joined``   a churn arrival enrolled (one event per device)
+``device_left``     a churn departure de-enrolled (one event per device)
+``late_admit``      a parked straggler upload joined a later aggregate
+``late_drop``       a parked upload was discarded (device de-enrolled)
 ``checkpoint``      a resumable checkpoint was written
 ``eval``            the global model was evaluated
 ``run_end``         the run finished (steps run, final metrics)
@@ -218,6 +222,12 @@ def replay_telemetry(events: Iterable[Dict[str, Any]]):
     fault_counts: Dict[str, int] = {}
     degraded = []
     syncs = []
+    # Churn is logged one event per device; regroup by step (events of
+    # one step are contiguous and ordered departures-then-arrivals, so
+    # a plain ordered dict rebuilds the per-step ChurnRecord exactly).
+    churn_by_step: Dict[int, Dict[str, Any]] = {}
+    late_admits = []
+    late_drops = []
     for event in events:
         kind = event.get("type")
         if kind == "round":
@@ -268,6 +278,35 @@ def replay_telemetry(events: Iterable[Dict[str, Any]]):
                 )
             if used_stale:
                 fault_counts["stale_sync"] = fault_counts.get("stale_sync", 0) + 1
+        elif kind in ("device_joined", "device_left"):
+            t = int(event["t"])
+            group = churn_by_step.setdefault(
+                t, {"t": t, "joined": [], "left": [], "num_active": 0}
+            )
+            key = "joined" if kind == "device_joined" else "left"
+            group[key].append(int(event["device"]))
+            group["num_active"] = int(event["num_active"])
+        elif kind == "late_admit":
+            late_admits.append(
+                {
+                    "t": int(event["t"]),
+                    "edge": int(event["edge"]),
+                    "device": int(event["device"]),
+                    "born_step": int(event["born_step"]),
+                    "age": int(event["age"]),
+                    "scale": float(event["scale"]),
+                }
+            )
+        elif kind == "late_drop":
+            late_drops.append(
+                {
+                    "t": int(event["t"]),
+                    "edge": int(event["edge"]),
+                    "device": int(event["device"]),
+                    "born_step": int(event["born_step"]),
+                    "age": int(event["age"]),
+                }
+            )
 
     recorder = TelemetryRecorder()
     recorder.load_state_dict(
@@ -277,6 +316,9 @@ def replay_telemetry(events: Iterable[Dict[str, Any]]):
             "fault_counts": fault_counts,
             "degraded_rounds": degraded,
             "sync_attempts": syncs,
+            "churn_records": list(churn_by_step.values()),
+            "late_admits": late_admits,
+            "late_drops": late_drops,
         }
     )
     return recorder

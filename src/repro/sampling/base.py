@@ -91,6 +91,26 @@ class Sampler(ABC):
     def observe_oracle(self, t: int, device: int, grad_sq_norm: float) -> None:
         """Oracle feedback (only called when ``requires_oracle``)."""
 
+    def on_device_joined(self, t: int, device: int) -> None:
+        """A device enrolled at step ``t`` (open-population churn).
+
+        Called by the trainer before the plan phase when the churn
+        process admits a device (see :mod:`repro.churn`).  Samplers
+        that keep per-device learned state can warm-start the arrival
+        here — MACH seeds never-tried arrivals with prior-mean UCB
+        state.  Default: ignore (stateless samplers need nothing; the
+        trainer already restricts member sets to the active mask).
+        """
+
+    def on_device_left(self, t: int, device: int) -> None:
+        """A device de-enrolled at step ``t`` (open-population churn).
+
+        The trainer stops offering the device in member sets while it
+        is gone; samplers may additionally decay or freeze its state.
+        Default: ignore — keeping learned state means a returning
+        device resumes from what the sampler knew about it.
+        """
+
     def audit_components(
         self, device_indices: Sequence[int]
     ) -> Optional[dict]:

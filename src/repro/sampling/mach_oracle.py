@@ -51,6 +51,11 @@ class MACHOracleSampler(Sampler):
         estimates = self._true_g_sq[np.asarray(device_indices, dtype=int)]
         return edge_strategy(estimates, capacity, self.config, t=t)
 
+    def on_device_joined(self, t: int, device: int) -> None:
+        """Churn arrivals need no warm start here: the oracle probe
+        refreshes every member's true norm at the next plan phase, so
+        an arrival is fully scored one step after joining."""
+
     def audit_components(self, device_indices) -> dict:
         """Oracle decomposition: the true norms are the whole score.
 

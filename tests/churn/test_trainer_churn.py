@@ -1,0 +1,256 @@
+"""Trainer behavior under open-population churn and bounded staleness.
+
+The load-bearing contract: with churn off and ``max_staleness == 0``
+the trainer is bit-identical to the pre-churn engine; with them on, the
+population changes deterministically, parked stragglers are admitted
+within the staleness bound, and the mid-round-departure × late-admit
+interaction drops the upload with failure feedback.
+"""
+
+import numpy as np
+import pytest
+
+from repro.churn import ChurnProcess, ChurnProfile
+from repro.churn.process import ChurnStep
+from repro.core.mach import MACHSampler
+from repro.hfl.telemetry import TelemetryRecorder
+from repro.sampling import UniformSampler
+
+from tests.faults.test_degradation import (
+    RecordingSampler,
+    ScriptedFaultModel,
+    build_trainer,
+)
+
+
+class ScriptedChurn(ChurnProcess):
+    """Churn process with a hand-written transition schedule.
+
+    ``leave_at`` / ``join_at`` map a step to the device ids that leave /
+    join at the top of that step; everything else stays put.  Built on
+    an inactive profile so ``reset`` enrolls the full population.
+    """
+
+    def __init__(self, leave_at=None, join_at=None):
+        super().__init__(ChurnProfile())
+        self._leave_at = {int(t): list(v) for t, v in (leave_at or {}).items()}
+        self._join_at = {int(t): list(v) for t, v in (join_at or {}).items()}
+
+    def step(self, t):
+        active = self.active_mask
+        left = sorted(m for m in self._leave_at.get(t, []) if active[m])
+        joined = sorted(m for m in self._join_at.get(t, []) if not active[m])
+        for m in left:
+            active[m] = False
+        for m in joined:
+            active[m] = True
+        self._total_joined += len(joined)
+        self._total_left += len(left)
+        return ChurnStep(
+            joined=joined, left=left, num_active=int(active.sum())
+        )
+
+
+class TestClosedWorldBitIdentity:
+    def test_none_profile_matches_no_profile(self):
+        """churn_profile="none" + max_staleness=0 is the pre-churn
+        engine exactly: same history, same participation, same
+        telemetry."""
+        base_tel, gated_tel = TelemetryRecorder(), TelemetryRecorder()
+        base = build_trainer(UniformSampler(), telemetry=base_tel).run(
+            num_steps=12
+        )
+        gated = build_trainer(
+            UniformSampler(), telemetry=gated_tel,
+            churn_profile="none", max_staleness=0,
+        ).run(num_steps=12)
+        assert base.history.accuracy == gated.history.accuracy
+        assert base.history.loss == gated.history.loss
+        np.testing.assert_array_equal(
+            base.participation_counts, gated.participation_counts
+        )
+        assert base_tel.state_dict() == gated_tel.state_dict()
+        assert gated.devices_joined == 0 and gated.devices_left == 0
+        assert gated.late_admits == 0 and gated.late_drops == 0
+
+    def test_zero_staleness_under_faults_matches(self):
+        """max_staleness=0 keeps the drop-the-straggler behavior even
+        under an active fault profile."""
+        base = build_trainer(
+            UniformSampler(), fault_profile="moderate"
+        ).run(num_steps=12)
+        gated = build_trainer(
+            UniformSampler(), fault_profile="moderate", max_staleness=0,
+        ).run(num_steps=12)
+        assert base.history.accuracy == gated.history.accuracy
+        np.testing.assert_array_equal(
+            base.participation_counts, gated.participation_counts
+        )
+
+    def test_inactive_profile_builds_no_process(self):
+        trainer = build_trainer(UniformSampler(), churn_profile="none")
+        assert trainer.churn is None
+        trainer = build_trainer(UniformSampler())
+        assert trainer.churn is None
+
+
+class TestChurnDynamics:
+    def test_departed_device_never_sampled(self):
+        """A device that leaves at step 0 is invisible to the sampler
+        for the whole run."""
+        sampler = RecordingSampler()
+        churn = ScriptedChurn(leave_at={0: [3]})
+        result = build_trainer(sampler, churn=churn).run(num_steps=10)
+        assert result.participation_counts[3] == 0
+        assert all(m != 3 for _, m in sampler.participations)
+        assert result.devices_left == 1
+        assert result.devices_joined == 0
+
+    def test_rejoin_restores_samplability(self):
+        churn = ScriptedChurn(leave_at={0: [3]}, join_at={5: [3]})
+        trainer = build_trainer(UniformSampler(), churn=churn)
+        result = trainer.run(num_steps=20)
+        assert result.devices_left == 1
+        assert result.devices_joined == 1
+        assert bool(trainer.churn.active_mask[3])
+
+    def test_churn_telemetry_and_counters_agree(self):
+        telemetry = TelemetryRecorder()
+        result = build_trainer(
+            UniformSampler(), telemetry=telemetry, churn_profile="moderate",
+        ).run(num_steps=20)
+        assert result.devices_joined == telemetry.devices_joined()
+        assert result.devices_left == telemetry.devices_left()
+        assert result.devices_joined + result.devices_left > 0
+
+    def test_seeded_churn_is_reproducible(self):
+        runs = [
+            build_trainer(
+                UniformSampler(), churn_profile="moderate"
+            ).run(num_steps=15)
+            for _ in range(2)
+        ]
+        assert runs[0].history.accuracy == runs[1].history.accuracy
+        assert runs[0].devices_joined == runs[1].devices_joined
+        assert runs[0].devices_left == runs[1].devices_left
+
+    def test_mach_arrival_warm_start(self):
+        """A never-tried arrival is seeded with prior-mean UCB state
+        instead of the infinite cold-start estimate."""
+        sampler = MACHSampler()
+        churn = ScriptedChurn(leave_at={0: [7]}, join_at={8: [7]})
+        build_trainer(sampler, churn=churn).run(num_steps=12)
+        estimate = sampler.tracker.estimates([7])[0]
+        assert np.isfinite(estimate)
+
+
+class TestBoundedStaleness:
+    def test_late_admits_respect_the_bound(self):
+        telemetry = TelemetryRecorder()
+        result = build_trainer(
+            UniformSampler(), telemetry=telemetry,
+            fault_profile="moderate,deadline=2.0", max_staleness=4,
+        ).run(num_steps=25)
+        assert result.late_admits > 0, (
+            "a 2.0s straggler deadline should park at least one upload "
+            "over 25 steps"
+        )
+        assert result.late_admits == len(telemetry.late_admits)
+        for record in telemetry.late_admits:
+            assert 1 <= record.age <= 4
+            assert record.t == record.born_step + record.age
+            assert 0 < record.scale < np.inf
+        assert np.all(np.isfinite(result.history.accuracy))
+
+    def test_stragglers_not_counted_as_faults_when_parked(self):
+        """A parked straggler is late, not lost: it must not appear in
+        the fault counters of its round."""
+        fault_model = ScriptedFaultModel(
+            fail=lambda t, e, m, dep: "straggler" if t == 2 else None
+        )
+        telemetry = TelemetryRecorder()
+        build_trainer(
+            UniformSampler(), telemetry=telemetry,
+            fault_model=fault_model, max_staleness=3,
+        ).run(num_steps=10)
+        assert "straggler" not in telemetry.fault_summary()
+        assert telemetry.late_admit_count() > 0
+
+    def test_parked_feedback_is_deferred_to_admission(self):
+        """Sampler feedback for a parked device arrives at the admit
+        step, not at the round it missed."""
+        sampler = RecordingSampler()
+        fault_model = ScriptedFaultModel(
+            fail=lambda t, e, m, dep: "straggler" if t == 2 else None
+        )
+        build_trainer(
+            sampler, fault_model=fault_model, max_staleness=3,
+        ).run(num_steps=10)
+        assert all(t != 2 for t, _ in sampler.participations if t == 2)
+        admit_times = [t for t, _ in sampler.participations if 3 <= t <= 5]
+        assert admit_times, "parked uploads must be credited on admission"
+
+    def test_departure_during_staleness_window_drops_upload(self):
+        """The mid-round-departure × late-admit interaction: a straggler
+        whose device de-enrolls before admission is dropped with
+        failure feedback."""
+        # Probe: find a device parked at step 2 under this seed.
+        probe_model = ScriptedFaultModel(
+            fail=lambda t, e, m, dep: "straggler" if t == 2 else None
+        )
+        probe = build_trainer(
+            UniformSampler(), fault_model=probe_model, max_staleness=3,
+        )
+        probe.run(num_steps=3)
+        assert probe._stale_buffer, "step 2 must park at least one upload"
+        target = probe._stale_buffer[0].device
+
+        # Real run: the parked device leaves at step 3, before any
+        # possible admission (earliest admit step is 3).
+        sampler = RecordingSampler()
+        telemetry = TelemetryRecorder()
+        churn = ScriptedChurn(leave_at={3: [target]})
+        fault_model = ScriptedFaultModel(
+            fail=lambda t, e, m, dep: "straggler" if t == 2 else None
+        )
+        result = build_trainer(
+            sampler, telemetry=telemetry, fault_model=fault_model,
+            churn=churn, max_staleness=3,
+        ).run(num_steps=10)
+        assert result.late_drops >= 1
+        dropped = [r.device for r in telemetry.late_drops]
+        assert target in dropped
+        assert any(m == target for _, m in sampler.failures)
+        # The dropped upload never fed experience at or after parking.
+        assert all(
+            not (m == target and t >= 2) for t, m in sampler.participations
+        )
+
+    def test_zero_staleness_never_parks(self):
+        trainer = build_trainer(
+            UniformSampler(), fault_profile="severe", max_staleness=0,
+        )
+        result = trainer.run(num_steps=10)
+        assert trainer._stale_buffer == []
+        assert result.late_admits == 0 and result.late_drops == 0
+
+
+class TestBackoffAccounting:
+    def test_sync_backoff_feeds_simulated_wall_clock(self):
+        """Satellite: SyncOutcome.backoff_seconds lands in the result's
+        latency accounting instead of being dropped."""
+        fault_model = ScriptedFaultModel(
+            sync_fails=lambda t, e: t == 5 and e == 0
+        )
+        telemetry = TelemetryRecorder()
+        result = build_trainer(
+            UniformSampler(), telemetry=telemetry, fault_model=fault_model,
+        ).run(num_steps=8)
+        # ScriptedFaultModel reports 1.5 simulated seconds per failed
+        # sync; only (t=5, edge=0) fails.
+        assert result.simulated_backoff_seconds == pytest.approx(1.5)
+        assert telemetry.simulated_backoff_seconds() == pytest.approx(1.5)
+
+    def test_fault_free_run_accumulates_nothing(self):
+        result = build_trainer(UniformSampler()).run(num_steps=8)
+        assert result.simulated_backoff_seconds == 0.0

@@ -67,7 +67,8 @@ class ScriptedFaultModel(FaultModel):
 
 
 def build_trainer(sampler, seed=0, num_devices=10, num_edges=3, steps=40,
-                  telemetry=None, fault_model=None, **config_overrides):
+                  telemetry=None, fault_model=None, churn=None,
+                  **config_overrides):
     devices, test = make_federated_task(
         "blobs", num_devices=num_devices, samples_per_device=30,
         test_samples=120, rng=seed,
@@ -89,6 +90,7 @@ def build_trainer(sampler, seed=0, num_devices=10, num_edges=3, steps=40,
         test_dataset=test,
         telemetry=telemetry,
         fault_model=fault_model,
+        churn=churn,
     )
 
 
@@ -256,9 +258,10 @@ class TestMobilityDeparture:
         for p, results in zip(active, step_results):
             if not results:
                 continue
-            survivors, failures = trainer._screen_uploads(
+            survivors, failures, parked = trainer._screen_uploads(
                 t, p.edge.edge_id, dict(results)
             )
+            assert parked == {}  # max_staleness defaults to 0
             before = p.edge.model.copy()
             trainer._finish_round(t, p, results)
             if not survivors:
