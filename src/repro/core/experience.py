@@ -220,7 +220,7 @@ class DeviceExperienceView:
     @property
     def estimate(self) -> float:
         """Latest synced G̃²_m; infinite before the device is ever estimated."""
-        return float(self._tracker._estimate[self.device_id])
+        return float(self._tracker.estimates([self.device_id])[0])
 
     def exploration_bonus(self, t: int) -> float:
         """Term B of Eq. (15); infinite when the device was never sampled."""
@@ -287,10 +287,23 @@ class ExperienceTracker:
     exact: the running buffer average is ``np.mean`` over the *full*
     buffer (pairwise summation over the same values is deterministic,
     whereas an incremental sum would group additions differently after
-    a checkpoint restore), and :meth:`sync_all` computes ``log(t + 1)``
-    once with ``math.log`` — the same libm call the scalar twin makes —
-    before the vectorized ``sqrt`` / divide (both correctly rounded, so
-    vector and scalar results match bit for bit).
+    a checkpoint restore), and every bonus computation uses the same
+    ``math.log`` / ``np.sqrt`` / divide sequence the scalar twin makes
+    (all correctly rounded elementwise, so vector and scalar results
+    match bit for bit).
+
+    Lazy per-device sync
+    --------------------
+    :meth:`sync_all` is O(touched), not O(population): only devices
+    with window activity since the previous sync (records, failures,
+    arrival seeds) need their exploitation term folded; everyone else's
+    estimate is a pure function of ``(exploit, count-at-sync, t)`` and
+    is materialized on demand by :meth:`estimates`.  A run sampling K
+    devices per step therefore pays O(K · T_g) per sync regardless of
+    how many devices exist — the city-scale regime where K ≪ N.  The
+    materialized values are bit-identical to the former eager refresh
+    because the same scalar ``log`` feeds the same elementwise
+    ``sqrt``/divide, just evaluated for the requested rows only.
     """
 
     def __init__(self, num_devices: int, window: str = "recent") -> None:
@@ -307,12 +320,35 @@ class ExperienceTracker:
         self._window_participated = np.zeros(n, dtype=bool)
         self._lifetime_best = np.zeros(n)
         self._participation_count = np.zeros(n, dtype=int)
-        # exploit/estimate carry a "never set" state (None in the JSON
-        # schema): the value arrays pair with has-masks.
+        # Exploitation term carried across syncs (0.0 until a device is
+        # first folded; the JSON ``None`` state is tracked by the flag
+        # array plus the has-any-sync-happened counter below).
         self._exploit = np.zeros(n)
         self._has_exploit = np.zeros(n, dtype=bool)
-        self._estimate = np.full(n, math.inf)
-        self._has_estimate = np.zeros(n, dtype=bool)
+        #: Participation count frozen at the device's last estimate
+        #: refresh — the denominator of its current exploration bonus.
+        self._synced_count = np.zeros(n, dtype=int)
+        #: Devices with window/count activity since the last sync; the
+        #: only rows the next :meth:`sync_all` must fold.
+        self._touched: set = set()
+        #: Clock of the last sync (None before the first): with
+        #: ``_synced_count`` this reproduces every untouched device's
+        #: frozen estimate on demand.
+        self._last_sync_t: Optional[int] = None
+        self._num_syncs = 0
+        #: Estimates pinned outside the lazy formula (arrival seeds and
+        #: checkpoint-restored values, which freeze until the next
+        #: sync).  Allocated only while such pins exist.
+        self._explicit_estimate: Optional[np.ndarray] = None
+        self._has_explicit: Optional[np.ndarray] = None
+
+    def _pin_estimate(self, device: int, value: float) -> None:
+        """Pin one device's estimate until the next sync."""
+        if self._explicit_estimate is None:
+            self._explicit_estimate = np.zeros(self.num_devices)
+            self._has_explicit = np.zeros(self.num_devices, dtype=bool)
+        self._explicit_estimate[device] = value
+        self._has_explicit[device] = True
 
     @property
     def devices(self) -> _DeviceViews:
@@ -350,6 +386,7 @@ class ExperienceTracker:
         data[length:need] = norms
         self._buffer_len[m] = need
         self._participation_count[m] += 1
+        self._touched.add(m)
         # Full-buffer mean (not an incremental sum): bit-stable across
         # checkpoint restores — see the class docstring.
         running_average = float(np.mean(data[:need]))
@@ -363,6 +400,7 @@ class ExperienceTracker:
         """Record a sampled-but-failed step for ``device``."""
         m = self._check_device(device)
         self._participation_count[m] += 1
+        self._touched.add(m)
 
     def initialize_arrival(self, device: int, t: int) -> bool:
         """Seed a newly arrived device with prior-mean UCB state.
@@ -384,54 +422,94 @@ class ExperienceTracker:
         scalar :class:`DeviceExperience` twin has no view of.
         """
         m = self._check_device(device)
-        if self._participation_count[m] > 0 or self._has_estimate[m]:
+        if self._participation_count[m] > 0 or self._has_estimate(m):
             return False
         tried = self._has_exploit & (self._participation_count > 0)
         if not tried.any():
             return False
         prior = float(np.mean(self._exploit[tried]))
         self._participation_count[m] = 1
+        self._synced_count[m] = 1
         self._exploit[m] = prior
         self._has_exploit[m] = True
-        self._estimate[m] = prior + math.sqrt(math.log(t + 1))
-        self._has_estimate[m] = True
+        # The seed uses the arrival clock, not the last sync's, so it
+        # is pinned verbatim until the next sync folds it normally.
+        self._pin_estimate(m, prior + math.sqrt(math.log(t + 1)))
+        self._touched.add(m)
         return True
+
+    def _has_estimate(self, device: int) -> bool:
+        """Whether ``device`` currently has a (finite or inf) estimate."""
+        if self._num_syncs > 0:
+            return True
+        return bool(
+            self._has_explicit is not None and self._has_explicit[device]
+        )
 
     def sync_all(self, t: int) -> None:
         """Edge-to-cloud step: refresh every device's UCB estimate.
 
-        One vectorized pass over the population implements Algorithm 2
-        lines 2–4 for all devices (previously a Python loop of
-        :meth:`DeviceExperience.sync` calls — the sync-phase hotspot at
-        scale).
+        Lazily: only the devices touched since the previous sync have
+        their exploitation term folded and their window cleared here —
+        O(touched).  Everyone else's refreshed estimate is the pure
+        function ``exploit + sqrt(log(t + 1) / count-at-sync)`` of
+        state this call leaves untouched, materialized on demand by
+        :meth:`estimates`.  (An untouched device's window is already
+        clear and, in ``lifetime`` mode, its ``exploit`` already equals
+        its lifetime best from the sync that last folded it, so the
+        skipped work is exactly the work whose result cannot change.)
         """
-        if self.window == "lifetime":
-            exploit = self._lifetime_best.copy()
-        else:
-            # Window best where the device participated; otherwise carry
-            # the previous estimate (0.0 before the first one).
-            exploit = np.where(
-                self._window_participated,
-                self._window_best,
-                np.where(self._has_exploit, self._exploit, 0.0),
+        if self._touched:
+            touched = np.fromiter(
+                sorted(self._touched), dtype=int, count=len(self._touched)
             )
-        bonus = np.full(self.num_devices, math.inf)
-        tried = self._participation_count > 0
-        log_t = math.log(t + 1)
-        bonus[tried] = np.sqrt(log_t / self._participation_count[tried])
-        self._exploit = exploit
-        self._has_exploit[:] = True
-        self._estimate = exploit + bonus
-        self._has_estimate[:] = True
-        # Clear the window: Algorithm 2 line 4.
-        self._buffer_len[:] = 0
-        self._window_best[:] = 0.0
-        self._window_participated[:] = False
+            if self.window == "lifetime":
+                exploit = self._lifetime_best[touched]
+            else:
+                # Window best where the device participated; otherwise
+                # carry the previous value (0.0 before the first one).
+                exploit = np.where(
+                    self._window_participated[touched],
+                    self._window_best[touched],
+                    self._exploit[touched],
+                )
+            self._exploit[touched] = exploit
+            self._has_exploit[touched] = True
+            self._synced_count[touched] = self._participation_count[touched]
+            # Clear the window: Algorithm 2 line 4.
+            self._buffer_len[touched] = 0
+            self._window_best[touched] = 0.0
+            self._window_participated[touched] = False
+            self._touched.clear()
+        self._last_sync_t = int(t)
+        self._num_syncs += 1
+        # Pins (arrival seeds / restored values) are superseded by the
+        # recomputable post-sync estimates.
+        self._explicit_estimate = None
+        self._has_explicit = None
 
     def estimates(self, device_indices: Sequence[int]) -> np.ndarray:
-        """Current G̃²_m for the requested devices (inf ⇒ never estimated)."""
+        """Current G̃²_m for the requested devices (inf ⇒ never estimated).
+
+        O(len(device_indices)): materializes the lazily synced UCB
+        values for the requested rows only, bit-identical to the former
+        eager full-population refresh (same scalar ``log``, same
+        elementwise ``sqrt``/divide — see the class docstring).
+        """
         idx = self._check_indices(device_indices)
-        return self._estimate[idx]
+        est = np.full(idx.shape, math.inf)
+        if self._num_syncs > 0:
+            synced = self._synced_count[idx]
+            tried = synced > 0
+            if tried.any():
+                log_t = math.log(self._last_sync_t + 1)
+                est[tried] = self._exploit[idx][tried] + np.sqrt(
+                    log_t / synced[tried]
+                )
+        if self._has_explicit is not None:
+            pinned = self._has_explicit[idx]
+            est[pinned] = self._explicit_estimate[idx][pinned]
+        return est
 
     def audit_components(
         self, device_indices: Sequence[int]
@@ -443,8 +521,9 @@ class ExperienceTracker:
         :meth:`DeviceExperience.audit_components`).
         """
         idx = self._check_indices(device_indices)
-        empirical = np.where(self._has_exploit[idx], self._exploit[idx], 0.0)
-        estimate = self._estimate[idx]
+        has_exploit = self._has_exploit[idx] | (self._num_syncs > 0)
+        empirical = np.where(has_exploit, self._exploit[idx], 0.0)
+        estimate = self.estimates(idx)
         bonus = np.where(
             np.isfinite(estimate), estimate - empirical, math.inf
         )
@@ -469,6 +548,8 @@ class ExperienceTracker:
         (:meth:`DeviceExperience.state_dict`): old checkpoints load and
         new checkpoints round-trip through old readers.
         """
+        synced = self._num_syncs > 0
+        estimates = self.estimates(np.arange(self.num_devices))
         devices = {}
         for m in range(self.num_devices):
             length = int(self._buffer_len[m])
@@ -479,10 +560,14 @@ class ExperienceTracker:
                 "lifetime_best": float(self._lifetime_best[m]),
                 "participation_count": int(self._participation_count[m]),
                 "exploit": (
-                    float(self._exploit[m]) if self._has_exploit[m] else None
+                    float(self._exploit[m])
+                    if synced or self._has_exploit[m]
+                    else None
                 ),
                 "estimate": (
-                    float(self._estimate[m]) if self._has_estimate[m] else None
+                    float(estimates[m])
+                    if synced or self._has_estimate(m)
+                    else None
                 ),
             }
         return {"window": self.window, "devices": devices}
@@ -499,6 +584,16 @@ class ExperienceTracker:
             raise ValueError(
                 "checkpoint device population does not match the tracker"
             )
+        # Restored estimates are frozen until the next sync (exactly the
+        # eager semantics), so they come back as pins; counts-at-sync
+        # are unknowable from the schema, but setting them to the stored
+        # counts is exact for every device the next sync does not fold,
+        # and folded devices get refreshed from their true counts.
+        self._num_syncs = 0
+        self._last_sync_t = None
+        self._explicit_estimate = None
+        self._has_explicit = None
+        self._touched = set()
         for key, device_state in devices.items():
             m = int(key)
             buffer = np.asarray(
@@ -514,11 +609,16 @@ class ExperienceTracker:
             self._participation_count[m] = int(
                 device_state["participation_count"]
             )
+            self._synced_count[m] = self._participation_count[m]
             exploit = device_state["exploit"]
             self._has_exploit[m] = exploit is not None
             self._exploit[m] = 0.0 if exploit is None else float(exploit)
             estimate = device_state["estimate"]
-            self._has_estimate[m] = estimate is not None
-            self._estimate[m] = (
-                math.inf if estimate is None else float(estimate)
-            )
+            if estimate is not None:
+                self._pin_estimate(m, float(estimate))
+            if (
+                self._buffer_len[m]
+                or self._window_participated[m]
+                or self._window_best[m]
+            ):
+                self._touched.add(m)

@@ -16,6 +16,7 @@ the gradient norms of devices it actually sampled.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -42,11 +43,36 @@ class MACHConfig:
     #: the current inter-sync window; "lifetime" is the literal Eq. (15)
     #: all-history max — see repro.core.experience).
     ucb_window: str = "recent"
+    #: Candidate-selection mode: "full" runs the Eq. (16)–(18) strategy
+    #: over every current member (exact paper behavior); "topk"
+    #: prescreens the members with an ``argpartition`` over their UCB
+    #: scores and runs the strategy only on the top candidates, so the
+    #: per-edge strategy cost tracks channel capacity instead of edge
+    #: population.  Never-estimated devices carry infinite scores and
+    #: are prescreened first, preserving UCB's try-everyone pressure.
+    selection: str = "full"
+    #: Candidate-pool size as a multiple of the edge capacity K_n
+    #: (only read in "topk" mode).
+    candidate_factor: float = 4.0
+    #: Pool floor so tiny capacities still explore a sane set.
+    min_candidates: int = 32
 
     def __post_init__(self) -> None:
         if self.sync_interval <= 0:
             raise ValueError(
                 f"sync_interval must be positive, got {self.sync_interval}"
+            )
+        if self.selection not in ("full", "topk"):
+            raise ValueError(
+                f"selection must be 'full' or 'topk', got {self.selection!r}"
+            )
+        if self.candidate_factor <= 0:
+            raise ValueError(
+                f"candidate_factor must be positive, got {self.candidate_factor}"
+            )
+        if self.min_candidates <= 0:
+            raise ValueError(
+                f"min_candidates must be positive, got {self.min_candidates}"
             )
 
 
@@ -74,11 +100,40 @@ class MACHSampler(Sampler):
     def probabilities(
         self, t: int, edge: int, device_indices: np.ndarray, capacity: float
     ) -> np.ndarray:
-        """Algorithm 1 line 3: Q^t_n ← EdgeSampling({G̃²_m | m ∈ M^t_n})."""
+        """Algorithm 1 line 3: Q^t_n ← EdgeSampling({G̃²_m | m ∈ M^t_n}).
+
+        ``device_indices`` is consumed as the ndarray the trainer builds
+        — no Python-list round trip — and indexes the SoA tracker
+        directly.  In ``topk`` mode the strategy itself only sees the
+        prescreened candidate pool; non-candidates get probability 0.
+        """
         if len(device_indices) == 0:
             return np.zeros(0)
-        estimates = self.tracker.estimates(list(device_indices))
+        estimates = self.tracker.estimates(device_indices)
+        pool = self._candidate_pool_size(capacity)
+        if self.config.selection == "topk" and pool < estimates.size:
+            # O(members) partition instead of the O(members log members)
+            # strategy-side sort; infinite (never-estimated) scores are
+            # prescreened first.  Partition order is deterministic for a
+            # fixed input, so runs and resumes replay exactly.
+            candidates = np.argpartition(-estimates, pool - 1)[:pool]
+            candidates.sort()
+            probabilities = np.zeros(estimates.size)
+            probabilities[candidates] = edge_strategy(
+                estimates[candidates],
+                capacity,
+                self.config.edge_sampling,
+                t=t,
+            )
+            return probabilities
         return edge_strategy(estimates, capacity, self.config.edge_sampling, t=t)
+
+    def _candidate_pool_size(self, capacity: float) -> int:
+        """Top-k pool size implied by the edge capacity."""
+        return max(
+            self.config.min_candidates,
+            int(math.ceil(self.config.candidate_factor * capacity)),
+        )
 
     def observe_participation(
         self,
@@ -115,7 +170,7 @@ class MACHSampler(Sampler):
 
     def audit_components(self, device_indices) -> dict:
         """Eq. (15) decomposition per candidate, for the audit trail."""
-        return self.tracker.audit_components(list(device_indices))
+        return self.tracker.audit_components(device_indices)
 
     def state_dict(self) -> dict:
         return {"tracker": self.tracker.state_dict()}

@@ -63,6 +63,12 @@ class ScenarioConfig:
     num_steps: int = 400
     target_accuracy: float = 0.75
     trace_kind: str = "telecom"  # telecom | markov | static
+    # Trace storage backend: "dense" materializes the (steps, devices)
+    # assignment grid; "streaming" serves the same query surface from
+    # bounded-size chunks (see repro.mobility.streaming) so city-scale
+    # populations never hold the full grid.
+    trace_backend: str = "dense"  # dense | streaming
+    trace_chunk_steps: int = 64  # streaming backend chunk length
     aggregation: str = "fedavg"  # see repro.hfl.config.AGGREGATION_MODES
     # Sync-step communication pattern and model-combination strategy
     # (see repro.topology): hierarchical | clustered | gossip, and
@@ -92,6 +98,18 @@ class ScenarioConfig:
     mach_beta: float = 2.0
     mach_warmup: int = 0
     mach_ucb_window: str = "recent"
+    # MACH candidate selection: "full" scores every edge member (exact
+    # paper behavior); "topk" argpartition-prescreens candidates so the
+    # per-edge strategy cost tracks capacity, not population.
+    mach_selection: str = "full"  # full | topk
+    mach_candidate_factor: float = 4.0  # topk pool = factor * capacity
+    # Evaluation cadence: "fixed" evaluates every eval-interval steps;
+    # "adaptive" doubles the interval while accuracy plateaus (|Δacc| <
+    # eval_accuracy_delta) up to eval_max_interval and resets on
+    # movement — long-horizon runs stop paying O(test set) per sync.
+    eval_cadence: str = "fixed"  # fixed | adaptive
+    eval_max_interval: Optional[int] = None  # None = 8 * base interval
+    eval_accuracy_delta: float = 0.005
 
     def __post_init__(self) -> None:
         check_positive("num_devices", self.num_devices)
@@ -101,6 +119,14 @@ class ScenarioConfig:
         check_fraction("participation_fraction", self.participation_fraction)
         check_fraction("target_accuracy", self.target_accuracy)
         check_membership("trace_kind", self.trace_kind, ("telecom", "markov", "static"))
+        check_membership("trace_backend", self.trace_backend, ("dense", "streaming"))
+        check_positive("trace_chunk_steps", self.trace_chunk_steps)
+        check_membership("mach_selection", self.mach_selection, ("full", "topk"))
+        check_positive("mach_candidate_factor", self.mach_candidate_factor)
+        check_membership("eval_cadence", self.eval_cadence, ("fixed", "adaptive"))
+        if self.eval_max_interval is not None:
+            check_positive("eval_max_interval", self.eval_max_interval)
+        check_positive("eval_accuracy_delta", self.eval_accuracy_delta)
         if self.num_edges > self.num_devices:
             raise ValueError("need at least as many devices as edges")
         if self.fault_profile is not None:
@@ -177,6 +203,8 @@ def make_sampler(name: str, config: ScenarioConfig) -> Sampler:
                 edge_sampling=edge_cfg,
                 sync_interval=config.sync_interval,
                 ucb_window=config.mach_ucb_window,
+                selection=config.mach_selection,
+                candidate_factor=config.mach_candidate_factor,
             )
         )
     if name == "mach_p":

@@ -26,6 +26,12 @@ from repro.experiments.config import (
 from repro.hfl.config import HFLConfig
 from repro.hfl.trainer import HFLTrainer, TrainingResult
 from repro.mobility.markov import MarkovMobilityModel
+from repro.mobility.streaming import (
+    DenseChunkProvider,
+    MarkovChunkProvider,
+    StaticChunkProvider,
+    StreamingTrace,
+)
 from repro.mobility.telecom import TelecomTraceGenerator
 from repro.mobility.trace import MobilityTrace, static_trace
 from repro.nn.architectures import build_model
@@ -33,9 +39,20 @@ from repro.nn.model import Model
 from repro.utils.rng import SeedSequenceFactory
 
 
-def build_trace(config: ScenarioConfig, seed: int) -> MobilityTrace:
-    """Build the scenario's mobility trace (telecom / markov / static)."""
+def build_trace(config: ScenarioConfig, seed: int):
+    """Build the scenario's mobility trace (telecom / markov / static).
+
+    With ``trace_backend="streaming"`` the trace is served from bounded
+    chunks (see :mod:`repro.mobility.streaming`): markov walks are
+    *generated* chunk by chunk (so the dense grid never exists), static
+    rows are tiled virtually, and telecom traces — whose generator is
+    inherently dense — are wrapped behind a chunk provider so downstream
+    memory still stays bounded.  Note the streaming markov walk draws
+    from per-chunk seed streams, so its trajectory differs from the
+    dense backend's (same dynamics, different stream layout).
+    """
     seeds = SeedSequenceFactory(seed)
+    streaming = config.trace_backend == "streaming"
     if config.trace_kind == "telecom":
         generator = TelecomTraceGenerator(
             num_devices=config.num_devices,
@@ -45,6 +62,11 @@ def build_trace(config: ScenarioConfig, seed: int) -> MobilityTrace:
         trace, _edge_map = generator.generate_trace(
             num_steps=config.num_steps, num_edges=config.num_edges
         )
+        if streaming:
+            return StreamingTrace(
+                DenseChunkProvider(trace.assignments, trace.num_edges),
+                chunk_steps=config.trace_chunk_steps,
+            )
         return trace
     if config.trace_kind == "markov":
         model = MarkovMobilityModel.stay_or_jump(
@@ -52,8 +74,28 @@ def build_trace(config: ScenarioConfig, seed: int) -> MobilityTrace:
             stay_probability=config.stay_probability,
             rng=seeds.generator("markov"),
         )
+        if streaming:
+            return StreamingTrace(
+                MarkovChunkProvider(
+                    model.transition,
+                    config.num_steps,
+                    config.num_devices,
+                    seed=seeds.child("markov-stream").master_seed,
+                    chunk_steps=config.trace_chunk_steps,
+                )
+            )
         return model.sample_trace(
             config.num_steps, config.num_devices, rng=seeds.generator("markov-trace")
+        )
+    if streaming:
+        assignment = seeds.generator("static").integers(
+            0, config.num_edges, size=config.num_devices
+        )
+        return StreamingTrace(
+            StaticChunkProvider(
+                assignment, config.num_steps, config.num_edges
+            ),
+            chunk_steps=config.trace_chunk_steps,
         )
     return static_trace(
         config.num_steps,
@@ -114,6 +156,9 @@ def hfl_config_for(config: ScenarioConfig, seed: int) -> HFLConfig:
         staleness_discount=config.staleness_discount,
         checkpoint_every=config.checkpoint_every,
         checkpoint_path=config.checkpoint_path,
+        eval_cadence=config.eval_cadence,
+        eval_max_interval=config.eval_max_interval,
+        eval_accuracy_delta=config.eval_accuracy_delta,
         seed=seed,
     )
 
@@ -308,6 +353,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--gossip-degree", type=int, default=None, metavar="K",
         help="peers each edge gossips with per sync step (default: 2)",
     )
+    scale_group = parser.add_argument_group(
+        "scale", "city-scale population engine (see DESIGN.md §14)"
+    )
+    scale_group.add_argument(
+        "--devices", type=int, default=None, metavar="M",
+        help="override the preset's device population size",
+    )
+    scale_group.add_argument(
+        "--edges", type=int, default=None, metavar="N",
+        help="override the preset's edge count",
+    )
+    scale_group.add_argument(
+        "--samples-per-device", type=int, default=None, metavar="S",
+        help="override the preset's per-device dataset size",
+    )
+    scale_group.add_argument(
+        "--participation", type=float, default=None, metavar="F",
+        help="override the preset's participation fraction (per-edge "
+             "capacity is F * devices / edges)",
+    )
+    scale_group.add_argument(
+        "--trace-kind", default=None, choices=("telecom", "markov", "static"),
+        help="mobility model generating the trace (default: the "
+             "preset's; markov recommended at city scale — the telecom "
+             "generator sizes its station grid with the population)",
+    )
+    scale_group.add_argument(
+        "--trace-backend", default=None, choices=("dense", "streaming"),
+        help="mobility trace storage: materialized grid, or chunked "
+             "streaming membership (bounded memory at any population)",
+    )
+    scale_group.add_argument(
+        "--trace-chunk-steps", type=int, default=None, metavar="C",
+        help="streaming-backend chunk length in steps (default: 64)",
+    )
+    scale_group.add_argument(
+        "--mach-selection", default=None, choices=("full", "topk"),
+        help="MACH candidate selection: score all edge members, or "
+             "argpartition-prescreen top candidates so strategy cost "
+             "tracks capacity instead of population",
+    )
+    scale_group.add_argument(
+        "--eval-cadence", default=None, choices=("fixed", "adaptive"),
+        help="evaluation schedule: every eval-interval steps, or "
+             "accuracy-delta triggered backoff for long horizons",
+    )
     parser.add_argument("--steps", type=int, default=None,
                         help="override the preset's training horizon")
     parser.add_argument("--seed", type=int, default=None,
@@ -484,6 +575,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides["cluster_mixing_weight"] = args.mixing_weight
     if args.gossip_degree is not None:
         overrides["gossip_degree"] = args.gossip_degree
+    if args.devices is not None:
+        overrides["num_devices"] = args.devices
+    if args.edges is not None:
+        overrides["num_edges"] = args.edges
+    if args.samples_per_device is not None:
+        overrides["samples_per_device"] = args.samples_per_device
+    if args.participation is not None:
+        overrides["participation_fraction"] = args.participation
+    if args.trace_kind is not None:
+        overrides["trace_kind"] = args.trace_kind
+    if args.trace_backend is not None:
+        overrides["trace_backend"] = args.trace_backend
+    if args.trace_chunk_steps is not None:
+        overrides["trace_chunk_steps"] = args.trace_chunk_steps
+    if args.mach_selection is not None:
+        overrides["mach_selection"] = args.mach_selection
+    if args.eval_cadence is not None:
+        overrides["eval_cadence"] = args.eval_cadence
     if args.steps is not None:
         overrides["num_steps"] = args.steps
     if args.seed is not None:

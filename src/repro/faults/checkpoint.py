@@ -107,6 +107,10 @@ class TrainerCheckpoint:
     #: Robustness accounting the trainer surfaces in its result
     #: (simulated backoff, late admits/drops, churn totals).
     robustness_counters: Dict[str, Any] = field(default_factory=dict)
+    #: Adaptive-evaluation cursor (``None`` for fixed cadence or for
+    #: checkpoints that predate it): next due step, current interval,
+    #: and the accuracy of the previous evaluation.
+    eval_state: Optional[Dict[str, Any]] = None
     version: int = CHECKPOINT_VERSION
 
     def to_dict(self) -> Dict[str, Any]:
@@ -139,6 +143,7 @@ class TrainerCheckpoint:
                 "churn_state": self.churn_state,
                 "stale_buffer": self.stale_buffer,
                 "robustness_counters": self.robustness_counters,
+                "eval_state": self.eval_state,
             }
         )
         payload["payload_sha256"] = _payload_checksum(payload)
@@ -207,6 +212,9 @@ class TrainerCheckpoint:
             churn_state=decoded.get("churn_state"),
             stale_buffer=list(decoded.get("stale_buffer") or []),
             robustness_counters=dict(decoded.get("robustness_counters") or {}),
+            # Pre-adaptive-cadence checkpoints carry no eval cursor; the
+            # trainer re-derives one from the restored history.
+            eval_state=decoded.get("eval_state"),
             # Loads normalize to the current version: re-saving a
             # legacy checkpoint writes the v3 layout.
             version=CHECKPOINT_VERSION,

@@ -140,6 +140,16 @@ class HFLConfig:
     capacity_per_edge: Optional[np.ndarray] = None
     aggregation: str = "delta"
     eval_interval: Optional[int] = None
+    # Evaluation cadence: "fixed" evaluates every effective_eval_interval
+    # steps; "adaptive" starts there and doubles the gap whenever the
+    # accuracy moved less than eval_accuracy_delta since the previous
+    # evaluation (capped at effective_eval_max_interval), resetting to
+    # the base interval as soon as accuracy moves again.  Evaluation is
+    # a pure observer, so the cadence never perturbs the training
+    # trajectory — only which steps appear in the history.
+    eval_cadence: str = "fixed"
+    eval_max_interval: Optional[int] = None
+    eval_accuracy_delta: float = 0.005
     seed: int = 0
     executor: str = "serial"
     num_workers: Optional[int] = None
@@ -205,6 +215,15 @@ class HFLConfig:
                 )
         if self.eval_interval is not None:
             check_positive("eval_interval", self.eval_interval)
+        check_membership("eval_cadence", self.eval_cadence, ("fixed", "adaptive"))
+        if self.eval_max_interval is not None:
+            check_positive("eval_max_interval", self.eval_max_interval)
+            if self.eval_max_interval < self.effective_eval_interval:
+                raise ValueError(
+                    f"eval_max_interval={self.eval_max_interval} is below the "
+                    f"base interval {self.effective_eval_interval}"
+                )
+        check_positive("eval_accuracy_delta", self.eval_accuracy_delta)
         if self.capacity_per_edge is not None:
             self.capacity_per_edge = np.asarray(self.capacity_per_edge, dtype=float)
             if np.any(self.capacity_per_edge <= 0):
@@ -227,3 +246,10 @@ class HFLConfig:
     @property
     def effective_eval_interval(self) -> int:
         return self.eval_interval if self.eval_interval is not None else self.sync_interval
+
+    @property
+    def effective_eval_max_interval(self) -> int:
+        """Adaptive-cadence ceiling (default: 8 × the base interval)."""
+        if self.eval_max_interval is not None:
+            return self.eval_max_interval
+        return 8 * self.effective_eval_interval

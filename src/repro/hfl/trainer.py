@@ -333,6 +333,11 @@ class HFLTrainer:
         self._late_drops = 0
         self._devices_joined = 0
         self._devices_left = 0
+        # Adaptive-evaluation cursor (only consulted when
+        # config.eval_cadence == "adaptive"; checkpointed for resume).
+        self._eval_interval_now = config.effective_eval_interval
+        self._next_eval = self._eval_interval_now
+        self._last_eval_accuracy: Optional[float] = None
 
     # ------------------------------------------------------------------
 
@@ -833,6 +838,15 @@ class HFLTrainer:
                 "devices_joined": self._devices_joined,
                 "devices_left": self._devices_left,
             },
+            eval_state=(
+                {
+                    "next_eval": int(self._next_eval),
+                    "interval": int(self._eval_interval_now),
+                    "last_accuracy": self._last_eval_accuracy,
+                }
+                if self.config.eval_cadence == "adaptive"
+                else None
+            ),
         )
 
     def restore_checkpoint(
@@ -928,6 +942,20 @@ class HFLTrainer:
         self._late_drops = int(counters.get("late_drops", 0))
         self._devices_joined = int(counters.get("devices_joined", 0))
         self._devices_left = int(counters.get("devices_left", 0))
+        if checkpoint.eval_state is not None:
+            self._next_eval = int(checkpoint.eval_state["next_eval"])
+            self._eval_interval_now = int(checkpoint.eval_state["interval"])
+            last = checkpoint.eval_state.get("last_accuracy")
+            self._last_eval_accuracy = None if last is None else float(last)
+        else:
+            # Pre-cursor checkpoint (or fixed-cadence run): restart the
+            # adaptive schedule at the base interval from the resume
+            # step, seeded with the last recorded accuracy.
+            self._eval_interval_now = self.config.effective_eval_interval
+            self._next_eval = checkpoint.step + self._eval_interval_now
+            self._last_eval_accuracy = (
+                self._history.accuracy[-1] if self._history.accuracy else None
+            )
         return checkpoint.step
 
     def _maybe_write_checkpoint(self, steps_completed: int) -> None:
@@ -977,6 +1005,9 @@ class HFLTrainer:
         self._devices_joined = 0
         self._devices_left = 0
         self._stale_buffer = []
+        self._eval_interval_now = self.config.effective_eval_interval
+        self._next_eval = self._eval_interval_now
+        self._last_eval_accuracy = None
         if self.churn is not None:
             # Idempotent: same "initial-active" stream as __init__, so a
             # fresh run always starts from the same population draw.
@@ -991,6 +1022,9 @@ class HFLTrainer:
                 )
         history = self._history
         eval_interval = self.config.effective_eval_interval
+        adaptive_eval = self.config.eval_cadence == "adaptive"
+        eval_max_interval = self.config.effective_eval_max_interval
+        eval_delta = self.config.eval_accuracy_delta
 
         if self._events is not None:
             self._events.emit(
@@ -1030,7 +1064,12 @@ class HFLTrainer:
                 steps_run = t + 1
                 if self._metrics is not None:
                     self._steps_counter.inc()
-                if steps_run % eval_interval == 0 or steps_run == num_steps:
+                eval_due = (
+                    steps_run >= self._next_eval
+                    if adaptive_eval
+                    else steps_run % eval_interval == 0
+                )
+                if eval_due or steps_run == num_steps:
                     t0 = clock()
                     with tracer.span("eval"):
                         self.model.load_flat(self._virtual_global(t))
@@ -1041,6 +1080,24 @@ class HFLTrainer:
                     if self.telemetry is not None:
                         self.telemetry.record_phase("eval", clock() - t0)
                     history.record(steps_run, accuracy, loss)
+                    if adaptive_eval:
+                        # Plateau (|Δacc| < δ since the last eval)
+                        # doubles the gap up to the ceiling; movement
+                        # snaps back to the base interval.  Evaluation
+                        # is a pure observer, so this only changes
+                        # which steps the history samples.
+                        if (
+                            self._last_eval_accuracy is not None
+                            and abs(accuracy - self._last_eval_accuracy)
+                            < eval_delta
+                        ):
+                            self._eval_interval_now = min(
+                                2 * self._eval_interval_now, eval_max_interval
+                            )
+                        else:
+                            self._eval_interval_now = eval_interval
+                        self._last_eval_accuracy = accuracy
+                        self._next_eval = steps_run + self._eval_interval_now
                     if self._events is not None:
                         self._events.emit(
                             "eval", step=steps_run, accuracy=accuracy, loss=loss

@@ -15,11 +15,23 @@ the paper cites — is provided in :mod:`repro.mobility.markov`.
 from repro.mobility.geo import BaseStation, EdgeMap, cluster_stations, make_station_grid
 from repro.mobility.markov import MarkovMobilityModel
 from repro.mobility.predictor import OrderKMarkovPredictor
+from repro.mobility.streaming import (
+    DenseChunkProvider,
+    MarkovChunkProvider,
+    StaticChunkProvider,
+    StreamingTrace,
+    streaming_markov_trace,
+)
 from repro.mobility.telecom import AccessRecord, TelecomTraceGenerator
 from repro.mobility.trace import MobilityTrace, static_trace
 from repro.mobility.waypoint import RandomWaypointModel
 
 __all__ = [
+    "DenseChunkProvider",
+    "MarkovChunkProvider",
+    "StaticChunkProvider",
+    "StreamingTrace",
+    "streaming_markov_trace",
     "BaseStation",
     "EdgeMap",
     "cluster_stations",

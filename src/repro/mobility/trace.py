@@ -10,7 +10,8 @@ and cover all of M — holds by construction and is checked by
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from collections import OrderedDict
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -36,8 +37,18 @@ class MobilityTrace:
     ``assignments`` in place would silently desynchronize the cache.
     """
 
+    #: Wrapped steps whose membership index is kept resident.  The
+    #: trainer only ever looks at a narrow window of steps (the current
+    #: round plus the ``t + 1`` departure probe), so a small LRU bounds
+    #: index memory to O(cache × devices) instead of O(steps × devices)
+    #: on city-scale traces.
+    MEMBERSHIP_CACHE_STEPS = 64
+
     def __init__(self, assignments: np.ndarray, num_edges: int) -> None:
-        assignments = np.asarray(assignments, dtype=int)
+        # int32 keeps edge indices exact up to ~2.1e9 edges while
+        # halving the grid's footprint at 100k+ devices; out-of-range
+        # input wraps into the bounds check below and fails loudly.
+        assignments = np.asarray(assignments, dtype=np.int32)
         if assignments.ndim != 2:
             raise ValueError(
                 f"assignments must be (num_steps, num_devices), got {assignments.shape}"
@@ -53,10 +64,11 @@ class MobilityTrace:
         self.assignments = assignments
         self.num_edges = int(num_edges)
         # Per-wrapped-step membership index, built lazily by
-        # :meth:`_step_index`.  The trace replays cyclically, so the
-        # cache is bounded by ``num_steps`` entries regardless of how
-        # long training runs.
-        self._membership: Dict[int, Tuple[List[np.ndarray], np.ndarray]] = {}
+        # :meth:`_step_index` and evicted least-recently-used once more
+        # than ``MEMBERSHIP_CACHE_STEPS`` wrapped steps are resident.
+        self._membership: "OrderedDict[int, Tuple[List[np.ndarray], np.ndarray]]" = (
+            OrderedDict()
+        )
 
     @property
     def num_steps(self) -> int:
@@ -94,6 +106,10 @@ class MobilityTrace:
             counts.flags.writeable = False
             index = (members, counts)
             self._membership[wrapped] = index
+            while len(self._membership) > self.MEMBERSHIP_CACHE_STEPS:
+                self._membership.popitem(last=False)
+        else:
+            self._membership.move_to_end(wrapped)
         return index
 
     def devices_at(self, t: int, edge: int) -> np.ndarray:
@@ -173,10 +189,16 @@ class MobilityTrace:
     # ---- statistics ------------------------------------------------------
 
     def occupancy(self) -> np.ndarray:
-        """Mean number of devices per edge, shape (num_edges,)."""
-        counts = np.zeros(self.num_edges)
-        for t in range(self.num_steps):
-            counts += np.bincount(self.assignments[t], minlength=self.num_edges)
+        """Mean number of devices per edge, shape (num_edges,).
+
+        One ``bincount`` over the flattened grid replaces the former
+        per-step Python loop; summing per-step integer counts commutes
+        exactly with counting the whole grid at once, so the result is
+        unchanged bit for bit.
+        """
+        counts = np.bincount(
+            self.assignments.ravel(), minlength=self.num_edges
+        ).astype(float)
         return counts / self.num_steps
 
     def handover_rate(self) -> float:

@@ -1,0 +1,310 @@
+"""Population-batched local updates: one stacked pass for many devices.
+
+The PR-5 flat-buffer contract makes every model a contiguous flat
+vector, so a *population* of D device replicas is naturally one
+``(D, P)`` matrix whose row ``d`` is device ``d``'s flat parameters.
+This module executes the Eq. (4) local-SGD loop for all of an edge
+round's sampled devices at once over that matrix:
+
+- forward/backward run as stacked 3-D ``np.matmul`` calls —
+  ``(D, B, F) @ (D, F, H)`` — whose per-slice operands are the *same*
+  C-contiguous 2-D arrays the per-device loop feeds BLAS, so every
+  device's slice reproduces its per-device result bit for bit;
+- the fused SGD step collapses to one ``flat -= lr * grad`` over the
+  whole ``(D, P)`` matrix;
+- per-layer parameter tensors are zero-copy strided views into the
+  population matrix (each device's parameter block is contiguous
+  within its row, so a ``(D, *shape)`` view only needs the row stride
+  prepended).
+
+Bit-identity discipline (see DESIGN.md §14): every reduction runs along
+the **last axis** of a C-contiguous array (where numpy's pairwise
+summation behaves identically for a row of a stack and a standalone
+vector), scalar reductions over non-contiguous axes (``sum(axis=1)`` of
+``(D, B, H)``) accumulate rows in the same order as their 2-D
+reference, and the per-device gradient-norm dot runs on the contiguous
+``(P,)`` row exactly like the reference ``grad @ grad``.
+
+The per-device loop (``Device.local_update``) remains the runnable
+reference twin: population batching only engages on the optimized
+engine (``repro.hotpath``) and can be vetoed independently via
+:func:`set_population_batching` for three-way parity tests.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List, Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.nn.layers import Dense, Flatten, ReLU
+from repro.nn.model import Model, Sequential
+
+_population_batching_enabled = True
+
+
+def population_batching_enabled() -> bool:
+    """Whether the stacked population path may be used (process-global)."""
+    return _population_batching_enabled
+
+
+def set_population_batching(enabled: bool) -> None:
+    """Enable/disable population batching (the per-device loop remains)."""
+    global _population_batching_enabled
+    _population_batching_enabled = bool(enabled)
+
+
+@contextmanager
+def population_batching_disabled():
+    """Run a block on the per-device loop even when hotpath is enabled."""
+    previous = _population_batching_enabled
+    set_population_batching(False)
+    try:
+        yield
+    finally:
+        set_population_batching(previous)
+
+
+def supports_population_batch(model: Model) -> bool:
+    """Whether ``model`` is a pure Dense/ReLU/Flatten stack.
+
+    Convolutional and stochastic (Dropout) layers fall back to the
+    per-device loop: conv workspaces are per-model scratch state and
+    dropout draws from a per-layer stream that stacking would reorder.
+    """
+    if not isinstance(model, Sequential):
+        return False
+    return all(
+        type(layer) in (Dense, ReLU, Flatten) for layer in model.layers
+    )
+
+
+class _PopDense:
+    """Stacked twin of :class:`repro.nn.layers.Dense`.
+
+    ``w`` / ``b`` (and their grads) are strided views into the
+    population matrices; slice ``d`` of each is device ``d``'s
+    C-contiguous parameter block.
+    """
+
+    def __init__(
+        self, w: np.ndarray, b: np.ndarray, gw: np.ndarray, gb: np.ndarray
+    ) -> None:
+        self.w = w
+        self.b = b
+        self.gw = gw
+        self.gb = gb
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        # Per slice: x_d @ W_d + b_d — the reference Dense forward.
+        return np.matmul(x, self.w) + self.b[:, None, :]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x = self._x
+        # Per slice: W_d.grad += x_d.T @ g_d (same transposed dgemm the
+        # 2-D reference issues), b_d.grad += g_d.sum(axis=0) (axis-1 of
+        # the stack reduces rows in the same order as axis-0 of one
+        # slice).
+        self.gw += np.matmul(x.transpose(0, 2, 1), grad_out)
+        self.gb += grad_out.sum(axis=1)
+        return np.matmul(grad_out, self.w.transpose(0, 2, 1))
+
+
+class _PopReLU:
+    """Stacked twin of the hot-path ReLU (fused max + cached mask)."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return np.where(self._mask, grad_out, 0.0)
+
+
+class _PopFlatten:
+    """Stacked twin of Flatten: (D, B, ...) → (D, B, F)."""
+
+    def __init__(self) -> None:
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], x.shape[1], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out.reshape(self._shape)
+
+
+class _PopSoftmaxCrossEntropy:
+    """Stacked twin of the hot-path fused softmax cross-entropy.
+
+    ``forward`` returns the per-device mean losses (shape ``(D,)``);
+    every reduction runs along the last axis of a C-contiguous array so
+    each slice matches its 2-D reference bit for bit.
+    """
+
+    def __init__(self) -> None:
+        self._cache = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        shifted = logits - np.max(logits, axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / np.sum(exp, axis=-1, keepdims=True)
+        picked = np.take_along_axis(probs, labels[:, :, None], axis=2)[:, :, 0]
+        losses = -np.mean(
+            np.log(np.clip(picked, 1e-12, None)), axis=-1
+        )
+        self._cache = (probs, labels)
+        return losses
+
+    def backward(self) -> np.ndarray:
+        probs, labels = self._cache
+        pop, batch, _classes = probs.shape
+        grad = probs.copy()
+        grad[
+            np.arange(pop)[:, None], np.arange(batch)[None, :], labels
+        ] -= 1.0
+        grad /= batch
+        return grad
+
+
+class PopulationModel:
+    """D stacked replicas of one Dense/ReLU/Flatten model.
+
+    Owns two ``(capacity, P)`` matrices (values and grads) whose rows
+    are per-device flat vectors in the template model's canonical
+    parameter order, growing geometrically as rounds need more rows.
+    :meth:`local_updates` runs the full fused Eq. (4) loop for the
+    leading ``D`` rows.
+    """
+
+    def __init__(self, template: Model, capacity: int = 0) -> None:
+        if not supports_population_batch(template):
+            raise ValueError(
+                "population batching supports Sequential Dense/ReLU/Flatten "
+                f"models only, got {type(template).__name__}"
+            )
+        # One parameter walk pins the canonical flat layout; the
+        # template's own buffers are never touched.
+        params = template.parameters()
+        self._layout = []  # (layer kind, [(offset, shape), ...])
+        offset = 0
+        cursor = 0
+        for layer in template.layers:
+            layer_params = layer.parameters()
+            spans = []
+            for p in layer_params:
+                if p is not params[cursor]:  # pragma: no cover - defensive
+                    raise RuntimeError("parameter order diverged from layout")
+                spans.append((offset, p.shape))
+                offset += p.size
+                cursor += 1
+            self._layout.append((type(layer), spans))
+        self.num_parameters = offset
+        self.capacity = 0
+        self.flat = np.empty((0, self.num_parameters))
+        self.grad = np.empty((0, self.num_parameters))
+        if capacity:
+            self.ensure(capacity)
+
+    def ensure(self, population: int) -> None:
+        """Grow the population matrices to hold ``population`` rows."""
+        if population <= self.capacity:
+            return
+        new_cap = max(population, 2 * self.capacity)
+        self.flat = np.empty((new_cap, self.num_parameters))
+        self.grad = np.empty((new_cap, self.num_parameters))
+        self.capacity = new_cap
+
+    def _view(
+        self, base: np.ndarray, population: int, offset: int, shape: Tuple[int, ...]
+    ) -> np.ndarray:
+        """A writable ``(population, *shape)`` view of one parameter block.
+
+        Each device's block is contiguous within its row, so the view
+        is the block's C-order strides with the row stride prepended —
+        no copy, and slice ``d`` is exactly the 2-D array the reference
+        layer owns.
+        """
+        itemsize = base.itemsize
+        strides = [base.strides[0]]
+        span = itemsize
+        for dim in reversed(shape):
+            strides.insert(1, span * 1)
+            span *= dim
+        # Rebuild C-order strides for the block itself.
+        block_strides = []
+        running = itemsize
+        for dim in reversed(shape):
+            block_strides.insert(0, running)
+            running *= dim
+        return as_strided(
+            base[:population, offset:],
+            shape=(population,) + tuple(shape),
+            strides=(base.strides[0],) + tuple(block_strides),
+        )
+
+    def _build_layers(self, population: int) -> List[object]:
+        layers: List[object] = []
+        for kind, spans in self._layout:
+            if kind is Dense:
+                (w_off, w_shape), (b_off, b_shape) = spans
+                layers.append(
+                    _PopDense(
+                        self._view(self.flat, population, w_off, w_shape),
+                        self._view(self.flat, population, b_off, b_shape),
+                        self._view(self.grad, population, w_off, w_shape),
+                        self._view(self.grad, population, b_off, b_shape),
+                    )
+                )
+            elif kind is ReLU:
+                layers.append(_PopReLU())
+            else:
+                layers.append(_PopFlatten())
+        return layers
+
+    def local_updates(
+        self,
+        start_model: np.ndarray,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        learning_rate: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Run the fused Eq. (4) loop for a stacked population.
+
+        ``xs`` is ``(I, D, B, ...)`` and ``ys`` ``(I, D, B)`` — all I
+        pre-drawn minibatches for each of D devices.  Returns
+        ``(final_models (D, P), losses (D, I), grad_sq_norms (D, I))``,
+        each row bit-identical to the per-device reference loop.
+        """
+        epochs, population = xs.shape[0], xs.shape[1]
+        self.ensure(population)
+        flat = self.flat[:population]
+        grad = self.grad[:population]
+        flat[...] = start_model[None, :]
+        layers = self._build_layers(population)
+        loss_fn = _PopSoftmaxCrossEntropy()
+        losses = np.empty((population, epochs))
+        grad_sq = np.empty((population, epochs))
+        for tau in range(epochs):
+            grad.fill(0.0)
+            out = xs[tau]
+            for layer in layers:
+                out = layer.forward(out)
+            losses[:, tau] = loss_fn.forward(out, ys[tau])
+            g = loss_fn.backward()
+            for layer in reversed(layers):
+                g = layer.backward(g)
+            # w^{t,τ+1} = w^{t,τ} − γ g for every device at once.
+            flat -= learning_rate * grad
+            for d in range(population):
+                row = grad[d]
+                grad_sq[d, tau] = float(row @ row)
+        return flat.copy(), losses, grad_sq

@@ -71,13 +71,10 @@ def _run_chunk(
     if _WORKER_CONTEXT is None:  # pragma: no cover - defensive
         raise RuntimeError("worker pool was not initialized with a context")
     if not timed:
-        return (
-            [
-                (item.device_id, _WORKER_CONTEXT.run_item(start_model, item))
-                for item in items
-            ],
-            [],
-        )
+        # Population-batched when the chunk is homogeneous (run_items
+        # falls back to the per-item loop otherwise) — each chunk is one
+        # stacked forward/backward instead of len(chunk) passes.
+        return _WORKER_CONTEXT.run_items(start_model, items), []
     worker = multiprocessing.current_process().name
     clock = time.perf_counter
     pairs: List[Tuple[int, LocalUpdateResult]] = []

@@ -10,6 +10,11 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.hfl.device import LocalUpdateResult
+from repro.hotpath import hotpath_enabled
+from repro.nn.population import (
+    population_batching_enabled,
+    supports_population_batch,
+)
 from repro.runtime.base import Executor, WorkerTiming, resolve_num_workers
 from repro.runtime.work_items import EdgeRoundPlan, LocalUpdateItem, RoundResults
 
@@ -54,13 +59,21 @@ class ThreadExecutor(Executor):
             )
         return self._pool
 
-    def _run_item(
-        self, start_model: np.ndarray, item: LocalUpdateItem
-    ) -> LocalUpdateResult:
+    def _local_context(self):
         context = getattr(self._thread_local, "context", None)
         if context is None:
             context = self.context.clone()
             self._thread_local.context = context
+        return context
+
+    def _run_round(self, plan: EdgeRoundPlan) -> RoundResults:
+        """Round-granular work unit for the population-batched engine."""
+        return self._local_context().run_round(plan)
+
+    def _run_item(
+        self, start_model: np.ndarray, item: LocalUpdateItem
+    ) -> LocalUpdateResult:
+        context = self._local_context()
         if not self._collect_timings:
             return context.run_item(start_model, item)
         start = time.perf_counter()
@@ -82,6 +95,18 @@ class ThreadExecutor(Executor):
         self.context  # fail fast before touching the pool
         pool = self._ensure_pool()
         submit = pool.submit
+        if (
+            not self._collect_timings
+            and hotpath_enabled()
+            and population_batching_enabled()
+            and supports_population_batch(self.context.model)
+        ):
+            # Population-batched engine: one stacked pass per edge round
+            # beats item-granular futures (the big matmuls release the
+            # GIL, and rounds still fan out across edges).  Per-item
+            # timing attribution keeps the item-granular path below.
+            futures = [submit(self._run_round, plan) for plan in plans]
+            return [future.result() for future in futures]
         run_item = self._run_item
         pending = self._pending
         pending.clear()

@@ -18,12 +18,19 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.hfl.device import Device, LocalUpdateResult
+from repro.hotpath import hotpath_enabled
+from repro.nn.population import (
+    PopulationModel,
+    population_batching_enabled,
+    supports_population_batch,
+)
 from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import check_positive
 
 
 @dataclass(frozen=True)
@@ -77,6 +84,11 @@ class WorkerContext:
     discipline as :class:`repro.nn.functional.ConvWorkspace`.
     """
 
+    #: Per-worker scratch state rebuilt lazily after clone/pickle: the
+    #: population matrices are plain capacity-sized buffers a fresh
+    #: worker re-allocates on first batched round.
+    _TRANSIENT_ATTRS = ("_pop_model", "_pop_supported")
+
     def __init__(
         self, model, devices: Sequence[Device], master_seed: int
     ) -> None:
@@ -85,6 +97,19 @@ class WorkerContext:
         self.model = model
         self.devices = list(devices)
         self.seeds = SeedSequenceFactory(master_seed)
+        self._pop_model: Optional[PopulationModel] = None
+        self._pop_supported: Optional[bool] = None
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        for attr in self._TRANSIENT_ATTRS:
+            state.pop(attr, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._pop_model = None
+        self._pop_supported = None
 
     @property
     def master_seed(self) -> int:
@@ -100,12 +125,7 @@ class WorkerContext:
         self, start_model: np.ndarray, item: LocalUpdateItem
     ) -> LocalUpdateResult:
         """Execute one local update with its deterministic named stream."""
-        device = self.devices[item.device_id]
-        if device.device_id != item.device_id:
-            raise ValueError(
-                f"device list is not indexed by id: slot {item.device_id} "
-                f"holds device {device.device_id}"
-            )
+        device = self._device_for(item)
         rng = self.seeds.work_item_generator(item.step, item.edge, item.device_id)
         return device.local_update(
             start_model,
@@ -116,9 +136,106 @@ class WorkerContext:
             rng=rng,
         )
 
+    def _device_for(self, item: LocalUpdateItem) -> Device:
+        device = self.devices[item.device_id]
+        if device.device_id != item.device_id:
+            raise ValueError(
+                f"device list is not indexed by id: slot {item.device_id} "
+                f"holds device {device.device_id}"
+            )
+        return device
+
+    def _population_model(self) -> PopulationModel:
+        if self._pop_model is None:
+            self._pop_model = PopulationModel(self.model)
+        return self._pop_model
+
+    def _batchable(self, items: Tuple[LocalUpdateItem, ...]) -> bool:
+        """Whether ``items`` can run as one stacked population pass.
+
+        Requires the optimized engine, a Dense/ReLU/Flatten model, and a
+        homogeneous batch: identical hyper-parameters, one effective
+        minibatch size (``min(batch_size, |D_m|)``), and one feature
+        shape across all devices.  Heterogeneous rounds fall back to the
+        per-device loop item by item.
+        """
+        if len(items) < 2:
+            return False
+        if not (hotpath_enabled() and population_batching_enabled()):
+            return False
+        if self._pop_supported is None:
+            self._pop_supported = supports_population_batch(self.model)
+        if not self._pop_supported:
+            return False
+        first = items[0]
+        size: Optional[int] = None
+        feat: Optional[Tuple[int, ...]] = None
+        for item in items:
+            if (
+                item.local_epochs != first.local_epochs
+                or item.learning_rate != first.learning_rate
+                or item.batch_size != first.batch_size
+            ):
+                return False
+            dataset = self._device_for(item).dataset
+            effective = min(item.batch_size, len(dataset))
+            if size is None:
+                size, feat = effective, dataset.feature_shape
+            elif effective != size or dataset.feature_shape != feat:
+                return False
+        return True
+
+    def run_items(
+        self, start_model: np.ndarray, items: Sequence[LocalUpdateItem]
+    ) -> List[Tuple[int, LocalUpdateResult]]:
+        """Execute many local updates, stacked into one population pass
+        when possible (results in item order either way).
+
+        Each device still draws its minibatch indices from its own
+        ``(step, edge, device)`` named stream — the stacked pass changes
+        how the math executes, never what is computed, and each result
+        is bit-identical to :meth:`run_item`'s.
+        """
+        items = tuple(items)
+        if not self._batchable(items):
+            return [
+                (item.device_id, self.run_item(start_model, item))
+                for item in items
+            ]
+        first = items[0]
+        epochs = first.local_epochs
+        check_positive("local_epochs", epochs)
+        check_positive("learning_rate", first.learning_rate)
+        check_positive("batch_size", first.batch_size)
+        devices = [self._device_for(item) for item in items]
+        size = min(first.batch_size, len(devices[0].dataset))
+        feat = devices[0].dataset.feature_shape
+        xs = np.empty((epochs, len(items), size) + feat)
+        ys = np.empty((epochs, len(items), size), dtype=int)
+        for slot, (item, device) in enumerate(zip(items, devices)):
+            rng = self.seeds.work_item_generator(
+                item.step, item.edge, item.device_id
+            )
+            xs[:, slot], ys[:, slot] = device.dataset.sample_batches(
+                epochs, first.batch_size, rng=rng
+            )
+        finals, losses, grad_sq = self._population_model().local_updates(
+            start_model, xs, ys, first.learning_rate
+        )
+        return [
+            (
+                item.device_id,
+                LocalUpdateResult(
+                    device_id=item.device_id,
+                    final_model=finals[slot],
+                    grad_sq_norms=grad_sq[slot].tolist(),
+                    mean_loss=float(np.mean(losses[slot])),
+                ),
+            )
+            for slot, item in enumerate(items)
+        ]
+
     def run_round(self, plan: EdgeRoundPlan) -> RoundResults:
-        """Execute a whole round serially (items in plan order)."""
-        return {
-            item.device_id: self.run_item(plan.start_model, item)
-            for item in plan.items
-        }
+        """Execute a whole round (items in plan order), population-batched
+        on the optimized engine."""
+        return dict(self.run_items(plan.start_model, plan.items))

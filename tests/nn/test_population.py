@@ -1,0 +1,144 @@
+"""Population-batched local updates: bit-identity with the per-device
+reference twin, support predicate, buffer reuse and the engine switch."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_blobs_dataset
+from repro.nn.layers import Conv2d, Dense, Dropout, Flatten, ReLU
+from repro.nn.loss import SoftmaxCrossEntropy
+from repro.nn.model import Sequential
+from repro.nn.population import (
+    PopulationModel,
+    population_batching_disabled,
+    population_batching_enabled,
+    set_population_batching,
+    supports_population_batch,
+)
+
+
+def make_mlp(rng, in_features=16, hidden=24, classes=10):
+    return Sequential(
+        [
+            Flatten(),
+            Dense(in_features, hidden, rng=rng),
+            ReLU(),
+            Dense(hidden, classes, rng=rng),
+        ]
+    )
+
+
+def reference_updates(model, start, xs, ys, lr):
+    """Per-device hot-path loop (Device.local_update's exact math)."""
+    loss_fn = SoftmaxCrossEntropy()
+    finals = np.empty((xs.shape[1], start.size))
+    losses = np.empty((xs.shape[1], xs.shape[0]))
+    grad_sq = np.empty_like(losses)
+    for d in range(xs.shape[1]):
+        model.load_flat(start)
+        for tau in range(xs.shape[0]):
+            loss, grad = model.loss_and_grad(
+                xs[tau, d], ys[tau, d], loss_fn, sgd_lr=lr
+            )
+            losses[d, tau] = loss
+            grad_sq[d, tau] = float(grad @ grad)
+        finals[d] = model.flat_copy()
+    return finals, losses, grad_sq
+
+
+class TestSupportsPredicate:
+    def test_dense_relu_flatten_supported(self, rng):
+        assert supports_population_batch(make_mlp(rng))
+
+    def test_dropout_and_conv_fall_back(self, rng):
+        with_dropout = Sequential(
+            [Dense(4, 4, rng=rng), Dropout(0.5), Dense(4, 2, rng=rng)]
+        )
+        assert not supports_population_batch(with_dropout)
+        with_conv = Sequential(
+            [Conv2d(1, 2, 3, rng=rng), Flatten(), Dense(8, 2, rng=rng)]
+        )
+        assert not supports_population_batch(with_conv)
+
+    def test_population_model_rejects_unsupported(self, rng):
+        model = Sequential([Dense(4, 4, rng=rng), Dropout(0.5)])
+        with pytest.raises(ValueError, match="population batching"):
+            PopulationModel(model)
+
+
+class TestBitIdentity:
+    @pytest.fixture
+    def workload(self, rng):
+        model = make_mlp(rng)
+        start = model.flat_copy()
+        epochs, pop, batch = 5, 7, 8
+        xs = rng.normal(size=(epochs, pop, batch, 16))
+        ys = rng.integers(0, 10, size=(epochs, pop, batch))
+        return model, start, xs, ys
+
+    def test_stacked_matches_per_device_reference(self, workload):
+        model, start, xs, ys = workload
+        lr = 0.08
+        ref_finals, ref_losses, ref_gsq = reference_updates(
+            model, start, xs, ys, lr
+        )
+        pop = PopulationModel(model)
+        finals, losses, grad_sq = pop.local_updates(start, xs, ys, lr)
+        np.testing.assert_array_equal(finals, ref_finals)
+        np.testing.assert_array_equal(losses, ref_losses)
+        np.testing.assert_array_equal(grad_sq, ref_gsq)
+
+    def test_buffer_reuse_stays_identical(self, workload):
+        """A second call on the same (grown) buffers must not be
+        polluted by the first round's leftover values."""
+        model, start, xs, ys = workload
+        pop = PopulationModel(model)
+        pop.local_updates(start, xs, ys, 0.08)
+        ref_finals, ref_losses, _ = reference_updates(
+            model, start, xs[:, :3], ys[:, :3], 0.05
+        )
+        finals, losses, _ = pop.local_updates(start, xs[:, :3], ys[:, :3], 0.05)
+        np.testing.assert_array_equal(finals, ref_finals)
+        np.testing.assert_array_equal(losses, ref_losses)
+
+    def test_capacity_grows_geometrically(self, rng):
+        model = make_mlp(rng)
+        pop = PopulationModel(model, capacity=4)
+        assert pop.capacity == 4
+        pop.ensure(5)
+        assert pop.capacity == 8  # doubled, not nudged to 5
+        pop.ensure(3)
+        assert pop.capacity == 8  # never shrinks
+
+    def test_flat_layout_matches_model(self, rng):
+        model = make_mlp(rng)
+        pop = PopulationModel(model)
+        assert pop.num_parameters == model.flat_copy().size
+
+
+class TestSwitch:
+    def test_disabled_context_restores(self):
+        assert population_batching_enabled()
+        with population_batching_disabled():
+            assert not population_batching_enabled()
+        assert population_batching_enabled()
+
+    def test_set_round_trip(self):
+        set_population_batching(False)
+        try:
+            assert not population_batching_enabled()
+        finally:
+            set_population_batching(True)
+        assert population_batching_enabled()
+
+
+class TestDatasetStackedSampling:
+    def test_sample_batches_matches_sequential_draws(self, rng):
+        dataset = make_blobs_dataset(40, num_features=16, num_classes=10, rng=rng)
+        rng_a = np.random.default_rng(9)
+        rng_b = np.random.default_rng(9)
+        xs, ys = dataset.sample_batches(4, 8, rng=rng_a)
+        for tau in range(4):
+            x, y = dataset.sample_batch(8, rng=rng_b)
+            np.testing.assert_array_equal(xs[tau], x)
+            np.testing.assert_array_equal(ys[tau], y)
