@@ -1,0 +1,151 @@
+"""Unified performance-report schema shared by the benchmark suite.
+
+Every committed ``benchmarks/results/BENCH_*.json`` grew its own ad-hoc
+shape, which makes regression tracking a per-file parsing exercise.
+This module defines the one canonical structure the tracking tooling
+(:mod:`perf_track`) understands:
+
+- a **report** carries run metadata (schema version, workload name,
+  host fingerprint, git revision) plus a flat list of cells;
+- a **cell** is one measured configuration — a unique name within the
+  workload and a ``{metric: float}`` mapping (wall seconds, peak RSS,
+  accuracy, speedups, ...).
+
+Existing baselines are *not* rewritten; :mod:`perf_track` adapts them
+into this shape on load.  New benchmark output (and fresh measurements)
+should be written through :func:`make_report` / :func:`write_report`
+directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+SCHEMA_VERSION = 1
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "PerfCell",
+    "git_revision",
+    "host_fingerprint",
+    "load_report",
+    "make_report",
+    "write_report",
+]
+
+
+def git_revision() -> Optional[str]:
+    """Best-effort short commit id of the working tree (None outside git)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def host_fingerprint() -> Dict[str, object]:
+    """The host identity block shared by every committed baseline."""
+    try:
+        import numpy as np
+
+        numpy_version = np.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dep in practice
+        numpy_version = None
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+    }
+
+
+@dataclass
+class PerfCell:
+    """One measured configuration: a name plus its scalar metrics."""
+
+    name: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("cell name must be non-empty")
+        cleaned: Dict[str, float] = {}
+        for key, value in self.metrics.items():
+            if value is None:
+                continue
+            if isinstance(value, bool):
+                cleaned[key] = 1.0 if value else 0.0
+            else:
+                cleaned[key] = float(value)
+        self.metrics = cleaned
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "metrics": dict(self.metrics)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PerfCell":
+        return cls(
+            name=str(payload["name"]),
+            metrics=dict(payload.get("metrics", {})),
+        )
+
+
+def make_report(
+    workload: str,
+    cells: Iterable[PerfCell],
+    meta: Optional[dict] = None,
+) -> dict:
+    """Assemble a schema-versioned report with host/git provenance."""
+    cell_list = list(cells)
+    names = [cell.name for cell in cell_list]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate cell names in report: {names}")
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "workload": str(workload),
+        "host": host_fingerprint(),
+        "git_revision": git_revision(),
+        "cells": [cell.to_dict() for cell in cell_list],
+    }
+    if meta:
+        report["meta"] = dict(meta)
+    return report
+
+
+def write_report(path: Union[str, Path], report: dict) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def load_report(path: Union[str, Path]) -> dict:
+    """Load a canonical report, validating the schema envelope."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version!r} (expected {SCHEMA_VERSION}); "
+            "ad-hoc BENCH_*.json baselines must go through the perf_track "
+            "adapters instead"
+        )
+    cells = [PerfCell.from_dict(cell) for cell in payload.get("cells", [])]
+    names = [cell.name for cell in cells]
+    if len(set(names)) != len(names):
+        raise ValueError(f"{path}: duplicate cell names {names}")
+    payload["cells"] = cells
+    return payload

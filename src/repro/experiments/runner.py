@@ -459,9 +459,38 @@ def build_parser() -> argparse.ArgumentParser:
              "Prometheus text to PATH with a .prom suffix",
     )
     obs_group.add_argument(
+        "--profile", action="store_true",
+        help="enable the continuous profiler (phase → subsystem → site "
+             "wall/CPU attribution); prints the top hotspots after the "
+             "run",
+    )
+    obs_group.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="write the full profiler report (hotspot table, per-phase "
+             "totals, recent steps, allocation samples) as JSON to PATH "
+             "(implies --profile)",
+    )
+    obs_group.add_argument(
+        "--flamegraph-out", default=None, metavar="PATH",
+        help="write collapsed-stack lines (flamegraph.pl / speedscope "
+             "compatible) to PATH (implies --profile)",
+    )
+    obs_group.add_argument(
+        "--profile-alloc-every", default=None, type=int, metavar="K",
+        help="sample tracemalloc allocation snapshots every K steps "
+             "(implies --profile; allocation tracing has real overhead)",
+    )
+    obs_group.add_argument(
+        "--health-out", default=None, metavar="PATH",
+        help="evaluate the rolling-window health/SLO rules each step and "
+             "write the final HealthReport (verdict, rules, transitions) "
+             "as JSON to PATH",
+    )
+    obs_group.add_argument(
         "--obs-off", action="store_true",
-        help="force observability off even when sink paths are given "
-             "(for A/B bit-identity checks)",
+        help="one switch to force ALL observability off — event log, "
+             "trace, metrics, profiler and health hooks — even when "
+             "their flags are given (for A/B bit-identity checks)",
     )
     verbosity = parser.add_mutually_exclusive_group()
     verbosity.add_argument(
@@ -487,26 +516,55 @@ def _scenario_manifest(config: ScenarioConfig) -> Dict[str, object]:
     }
 
 
+def _profile_requested(args) -> bool:
+    return bool(
+        args.profile
+        or args.profile_out
+        or args.flamegraph_out
+        or args.profile_alloc_every
+    )
+
+
+def _obs_requested(args) -> bool:
+    """Whether any observability flag would construct a sink."""
+    return bool(
+        args.log_jsonl
+        or args.trace_out
+        or args.metrics_out
+        or args.health_out
+        or _profile_requested(args)
+    )
+
+
 def _build_observability(args, config: ScenarioConfig):
     """Construct the CLI run's :class:`repro.obs.Observability`, or None.
 
     Each sink is enabled only by its own flag, so ``--trace-out`` alone
     pays no event-log or metrics cost; ``--log-jsonl`` also turns on the
     MACH audit trail, which mirrors its decisions into the log as
-    ``sampling`` events.
+    ``sampling`` events; ``--health-out`` (and ``--metrics-out``) bring
+    up the metrics registry with the resource accountant attached, so
+    payload/RSS metrics reach the exporters.  ``--obs-off`` is the
+    single kill switch: it returns None before ANY sink — including the
+    profiler and health hooks — is constructed, so there is no partial
+    instrumentation to reason about.
     """
     if args.obs_off:
         return None
-    if not (args.log_jsonl or args.trace_out or args.metrics_out):
+    if not _obs_requested(args):
         return None
     from repro.faults import make_fault_model, resolve_fault_profile
     from repro.obs import (
         EventLog,
+        HealthMonitor,
         MACHAuditTrail,
         MetricsRegistry,
         Observability,
+        Profiler,
+        ResourceAccountant,
         SpanTracer,
         build_manifest,
+        default_rules,
     )
 
     events = None
@@ -525,11 +583,30 @@ def _build_observability(args, config: ScenarioConfig):
                 extra={"preset": args.preset, "executor": config.executor},
             )
         )
+    metrics = (
+        MetricsRegistry()
+        if (args.metrics_out or args.health_out)
+        else None
+    )
+    profiler = None
+    if _profile_requested(args):
+        profiler = Profiler(alloc_every=args.profile_alloc_every)
+    health = None
+    if args.health_out:
+        health = HealthMonitor(
+            metrics,
+            rules=default_rules(checkpoint_every=config.checkpoint_every),
+        )
     return Observability(
         events=events,
         tracer=SpanTracer() if args.trace_out else None,
-        metrics=MetricsRegistry() if args.metrics_out else None,
+        metrics=metrics,
         audit=MACHAuditTrail(event_log=events) if events is not None else None,
+        profiler=profiler,
+        resources=(
+            ResourceAccountant(metrics) if metrics is not None else None
+        ),
+        health=health,
     )
 
 
@@ -549,6 +626,16 @@ def _write_obs_outputs(args, obs, echo) -> None:
         prom_path = Path(args.metrics_out).with_suffix(".prom")
         obs.metrics.write_prometheus(prom_path)
         echo(f"metrics: {args.metrics_out} + {prom_path}")
+    if obs.profiler is not None:
+        if args.profile_out:
+            obs.profiler.write_json(args.profile_out)
+            echo(f"profile: {args.profile_out}")
+        if args.flamegraph_out:
+            obs.profiler.write_collapsed(args.flamegraph_out)
+            echo(f"flamegraph: {args.flamegraph_out}")
+    if args.health_out and obs.health is not None:
+        obs.health.write_json(args.health_out)
+        echo(f"health: {args.health_out}")
     obs.close()
 
 
@@ -610,6 +697,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides["checkpoint_path"] = args.checkpoint_path or "checkpoint.json"
     config = config.with_overrides(**overrides)
 
+    if args.obs_off and _obs_requested(args):
+        echo(
+            "warning: --obs-off overrides the given observability flags; "
+            "no event log, trace, metrics, profile or health output "
+            "will be written"
+        )
     obs = _build_observability(args, config)
 
     telemetry = None
@@ -698,6 +791,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"({row['share']:.0%}, {row['calls']:.0f} calls)",
                 min_level=2,
             )
+    if obs is not None and obs.profiler is not None:
+        for row in obs.profiler.hotspot_table()[:5]:
+            echo(
+                f"hotspot {row['phase']}/{row['subsystem']}/{row['site']} "
+                f"{row['wall_seconds']:.3f}s ({row['share']:.0%}, "
+                f"{row['calls']} calls)"
+            )
+    if obs is not None and obs.health is not None:
+        report = obs.health.last_report
+        if report is not None:
+            failing = [
+                f"{row['name']}={row['verdict']}"
+                for row in report.rules
+                if row["verdict"] != "ok"
+            ]
+            detail = f" ({', '.join(failing)})" if failing else ""
+            echo(f"health: {report.verdict}{detail}")
+    if obs is not None and obs.resources is not None:
+        summary = obs.resources.summary()
+        echo(
+            f"resources: payload={summary['payload_mb_total']:.1f}MB "
+            f"rss={summary['rss_current_mb'] or 0:.0f}MB "
+            f"peak={summary['rss_peak_mb'] or 0:.0f}MB",
+            min_level=2,
+        )
     _write_obs_outputs(args, obs, lambda m: echo(m, min_level=2))
     return 0
 

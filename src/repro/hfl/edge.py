@@ -7,6 +7,7 @@ from typing import Dict, Sequence
 import numpy as np
 
 from repro.hfl.device import LocalUpdateResult
+from repro.prof import profile_site
 from repro.utils.rng import RngLike, as_generator
 from repro.utils.validation import check_finite, check_positive
 
@@ -92,34 +93,38 @@ class Edge:
         if not results:
             return self.model
 
-        member_count = len(member_devices)
-        total_weight = 0.0
-        accumulator = np.zeros_like(self.model)
-        for device_id, q in zip(member_devices, probabilities):
-            result = results.get(device_id)
-            if result is None:
-                continue
-            if q <= 0:
-                raise ValueError(
-                    f"device {device_id} participated with probability {q}"
-                )
-            if mode == "fedavg":
-                weight = 1.0 / len(results)
-            else:
-                weight = 1.0 / (member_count * q)
-            total_weight += weight
-            if mode in ("delta", "fedavg"):
-                accumulator += weight * (result.final_model - self.model)
-            else:
-                accumulator += weight * result.final_model
+        # The full-member walk is a documented city-scale hotspot
+        # (O(|M^t_n|) per round); the profiling site is a no-op unless a
+        # profiler is installed (see repro.prof).
+        with profile_site("hfl", "edge_aggregate", edge=self.edge_id):
+            member_count = len(member_devices)
+            total_weight = 0.0
+            accumulator = np.zeros_like(self.model)
+            for device_id, q in zip(member_devices, probabilities):
+                result = results.get(device_id)
+                if result is None:
+                    continue
+                if q <= 0:
+                    raise ValueError(
+                        f"device {device_id} participated with probability {q}"
+                    )
+                if mode == "fedavg":
+                    weight = 1.0 / len(results)
+                else:
+                    weight = 1.0 / (member_count * q)
+                total_weight += weight
+                if mode in ("delta", "fedavg"):
+                    accumulator += weight * (result.final_model - self.model)
+                else:
+                    accumulator += weight * result.final_model
 
-        if renormalize and mode in ("delta", "model"):
-            accumulator = accumulator / total_weight
-        if mode in ("delta", "fedavg"):
-            self.model = self.model + accumulator
-        elif mode == "model":
-            self.model = accumulator
-        else:  # normalized
-            self.model = accumulator / total_weight
+            if renormalize and mode in ("delta", "model"):
+                accumulator = accumulator / total_weight
+            if mode in ("delta", "fedavg"):
+                self.model = self.model + accumulator
+            elif mode == "model":
+                self.model = accumulator
+            else:  # normalized
+                self.model = accumulator / total_weight
         check_finite("aggregated edge model", self.model)
         return self.model

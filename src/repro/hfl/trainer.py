@@ -53,6 +53,7 @@ streams — bit-identical histories, on every executor backend.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
@@ -296,9 +297,32 @@ class HFLTrainer:
         self._events = obs.events if obs is not None else None
         self._audit = obs.audit if obs is not None else None
         self._metrics = obs.metrics if obs is not None else None
+        self._profiler = getattr(obs, "profiler", None) if obs is not None else None
+        self._resources = getattr(obs, "resources", None) if obs is not None else None
+        self._health = getattr(obs, "health", None) if obs is not None else None
+        self._last_health_verdict: Optional[str] = None
         if self._tracer.enabled:
-            # Worker-side per-item timings feed the device-update spans.
+            # Span tracing needs per-device spans: full item-granular
+            # timings (this switches the executors off their fused
+            # round paths — tracing is the expensive opt-in).
             self.executor.enable_worker_timings()
+        elif self._profiler is not None:
+            # The continuous profiler only needs per-edge execute
+            # attribution: round-granular timings ride the unchanged
+            # fast path at one clock pair per round.
+            self.executor.enable_worker_timings(granularity="round")
+        if self._profiler is not None:
+            # Install the process-global site hook (repro.prof) so the
+            # mobility/aggregation hot paths self-report.
+            self._profiler.activate()
+        if self._resources is not None:
+            # Payload accounting is labeled by the run's actual
+            # topology/aggregation pair, whatever the accountant's
+            # construction defaults were.
+            self._resources.topology = self.topology.name
+            self._resources.aggregation = self.aggregation_strategy.name
+        # One model transfer's wire size: the flat parameter vector.
+        self._model_payload_bytes = int(self.cloud.model.nbytes)
         if self._metrics is not None:
             self._steps_counter = self._metrics.counter(
                 "repro_steps_total", "Completed HFL time steps"
@@ -319,6 +343,10 @@ class HFLTrainer:
             self._stale_buffer_gauge = self._metrics.gauge(
                 "repro_stale_buffer_size",
                 "Late uploads currently parked in the staleness buffer",
+            )
+            self._step_latency_gauge = self._metrics.gauge(
+                "repro_step_latency_seconds",
+                "Wall-clock of the most recent full engine step",
             )
 
         # Run-progress state, mutated by run() and snapshot by checkpoints.
@@ -342,7 +370,13 @@ class HFLTrainer:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the executor's workers if the trainer created them."""
+        """Release the executor's workers if the trainer created them.
+
+        Also uninstalls this trainer's profiler from the process-global
+        hook so instrumentation never outlives the run.
+        """
+        if self._profiler is not None:
+            self._profiler.deactivate()
         if self._owns_executor:
             self.executor.close()
 
@@ -528,6 +562,14 @@ class HFLTrainer:
             self.telemetry.record_faults(
                 t, pending.edge.edge_id, failures, num_sampled
             )
+        if self._resources is not None and num_sampled:
+            # Comms accounting: every sampled device pulled the edge
+            # model; all but the parked stragglers pushed a reply now.
+            self._resources.record_device_round(
+                downloads=num_sampled,
+                uploads=num_sampled - len(parked),
+                model_bytes=self._model_payload_bytes,
+            )
         return len(results)
 
     def _park_uploads(
@@ -591,6 +633,8 @@ class HFLTrainer:
         due = [u for u in self._stale_buffer if u.admit_step <= t]
         if not due:
             return
+        admit_wall0 = time.perf_counter()
+        admits_before = self._late_admits
         self._stale_buffer = [u for u in self._stale_buffer if u.admit_step > t]
         due.sort(key=lambda u: (u.born_step, u.edge, u.device))
         for upload in due:
@@ -627,6 +671,13 @@ class HFLTrainer:
                 )
         if self._metrics is not None:
             self._stale_buffer_gauge.set(float(len(self._stale_buffer)))
+        if self._resources is not None:
+            self._resources.record_stale_admit(
+                self._late_admits - admits_before, self._model_payload_bytes
+            )
+            self._resources.record_wait(
+                "stale_admit", time.perf_counter() - admit_wall0
+            )
 
     def _apply_churn(self, t: int) -> None:
         """Advance the churn process one step and notify the sampler.
@@ -660,8 +711,9 @@ class HFLTrainer:
         """
         clock = time.perf_counter
         tracer = self._tracer
+        profiler = self._profiler
         t0 = clock()
-        with tracer.span("plan"):
+        with tracer.span("plan"), self._profile_phase("plan"):
             if self.churn is not None:
                 # Population turnover lands before planning: this step's
                 # strategies see the post-churn member sets.
@@ -669,12 +721,12 @@ class HFLTrainer:
             pending = [self._plan_round(t, edge) for edge in self.edges]
             active = [p for p in pending if p is not None]
         t1 = clock()
-        with tracer.span("execute"):
+        with tracer.span("execute"), self._profile_phase("execute"):
             step_results = self.executor.run_step([p.plan for p in active])
-            if tracer.enabled:
+            if tracer.enabled or profiler is not None:
                 self._trace_worker_timings()
         t2 = clock()
-        with tracer.span("finish"):
+        with tracer.span("finish"), self._profile_phase("finish"):
             total = sum(
                 self._finish_round(t, p, results)
                 for p, results in zip(active, step_results)
@@ -683,19 +735,33 @@ class HFLTrainer:
                 # Late uploads whose deadline extension expires this
                 # step join the post-round edge models.
                 self._admit_stale(t)
+        t3 = clock()
         if self.telemetry is not None:
-            t3 = clock()
             self.telemetry.record_phase("plan", t1 - t0)
             self.telemetry.record_phase("execute", t2 - t1)
             self.telemetry.record_phase("finish", t3 - t2)
+        if profiler is not None:
+            profiler.record_phase("plan", t1 - t0)
+            profiler.record_phase("execute", t2 - t1)
+            profiler.record_phase("finish", t3 - t2)
         return total
+
+    def _profile_phase(self, name: str):
+        """Phase-tagging scope for the profiler (no-op when off)."""
+        profiler = self._profiler
+        return profiler.phase_scope(name) if profiler is not None else nullcontext()
 
     def _trace_worker_timings(self) -> None:
         """Synthesize edge-round → device-update spans from the executor's
         per-item worker timings (attributed to the worker that ran each
-        item, durations from the worker's own monotonic clock)."""
+        item, durations from the worker's own monotonic clock).  The same
+        drained rows feed the profiler's per-(step, edge) attribution."""
         timings = self.executor.drain_worker_timings()
         if not timings:
+            return
+        if self._profiler is not None:
+            self._profiler.observe_worker_timings(timings)
+        if not self._tracer.enabled:
             return
         by_edge: Dict[int, list] = {}
         for wt in timings:
@@ -742,6 +808,8 @@ class HFLTrainer:
             # counts against the run's latency budget whether or not
             # the upload ultimately succeeded.
             self._sim_backoff_seconds += outcome.backoff_seconds
+            if self._resources is not None:
+                self._resources.record_wait("backoff", outcome.backoff_seconds)
             if outcome.success:
                 self._last_synced[n] = edge.model.copy()
                 uploads.append(edge.model)
@@ -779,6 +847,13 @@ class HFLTrainer:
             self._sync_counter.inc(
                 topology=self.topology.name,
                 aggregation=self.aggregation_strategy.name,
+            )
+        if self._resources is not None:
+            # One model up per edge, one installed back down per edge —
+            # cloud hop or peer exchange depending on the topology, which
+            # the metric labels record.
+            self._resources.record_sync(
+                len(uploads), len(self.edges), self._model_payload_bytes
             )
         self.sampler.on_global_sync(t)
 
@@ -958,12 +1033,34 @@ class HFLTrainer:
             )
         return checkpoint.step
 
+    def _observe_step(self, t: int, steps_run: int, seconds: float) -> None:
+        """Per-step observation hooks, all pure observers: profiler step
+        record, step-latency gauge, memory sample and health evaluation
+        (with a ``health`` event on every overall-verdict transition)."""
+        if self._profiler is not None:
+            self._profiler.end_step(t, seconds)
+        if self._metrics is not None:
+            self._step_latency_gauge.set(seconds)
+        if self._resources is not None:
+            self._resources.sample_memory()
+        if self._health is not None:
+            report = self._health.observe(steps_run)
+            if report is not None and report.verdict != self._last_health_verdict:
+                self._last_health_verdict = report.verdict
+                if self._events is not None:
+                    self._events.emit("health", **report.to_dict())
+
     def _maybe_write_checkpoint(self, steps_completed: int) -> None:
         every = self.config.checkpoint_every
         if every is None or steps_completed % every != 0:
             return
+        ckpt_t0 = time.perf_counter()
         with self._tracer.span("checkpoint", step=steps_completed):
             self.make_checkpoint(steps_completed).save(self.config.checkpoint_path)
+        if self._profiler is not None:
+            self._profiler.record_phase(
+                "checkpoint", time.perf_counter() - ckpt_t0
+            )
         if self._events is not None:
             self._events.emit(
                 "checkpoint",
@@ -1047,6 +1144,9 @@ class HFLTrainer:
         tracer = self._tracer
         steps_run = start_step
         for t in range(start_step, num_steps):
+            if self._profiler is not None:
+                self._profiler.begin_step(t)
+            step_t0 = clock()
             with tracer.span("cloud_step", t=t):
                 self._total_participants += self._train_step(t)
 
@@ -1056,10 +1156,13 @@ class HFLTrainer:
                         "sync",
                         topology=self.topology.name,
                         aggregation=self.aggregation_strategy.name,
-                    ):
+                    ), self._profile_phase("sync"):
                         self._sync_to_cloud(t)
+                    sync_seconds = clock() - t0
                     if self.telemetry is not None:
-                        self.telemetry.record_phase("sync", clock() - t0)
+                        self.telemetry.record_phase("sync", sync_seconds)
+                    if self._profiler is not None:
+                        self._profiler.record_phase("sync", sync_seconds)
 
                 steps_run = t + 1
                 if self._metrics is not None:
@@ -1071,14 +1174,17 @@ class HFLTrainer:
                 )
                 if eval_due or steps_run == num_steps:
                     t0 = clock()
-                    with tracer.span("eval"):
+                    with tracer.span("eval"), self._profile_phase("eval"):
                         self.model.load_flat(self._virtual_global(t))
                         # One fused pass over the test set yields both
                         # metrics (bit-identical to the separate
                         # accuracy/loss passes).
                         accuracy, loss = evaluate(self.model, self.test_dataset)
+                    eval_seconds = clock() - t0
                     if self.telemetry is not None:
-                        self.telemetry.record_phase("eval", clock() - t0)
+                        self.telemetry.record_phase("eval", eval_seconds)
+                    if self._profiler is not None:
+                        self._profiler.record_phase("eval", eval_seconds)
                     history.record(steps_run, accuracy, loss)
                     if adaptive_eval:
                         # Plateau (|Δacc| < δ since the last eval)
@@ -1113,8 +1219,10 @@ class HFLTrainer:
                         self._reached_at = steps_run
                         if stop_at_target:
                             self._maybe_write_checkpoint(steps_run)
+                            self._observe_step(t, steps_run, clock() - step_t0)
                             break
                 self._maybe_write_checkpoint(steps_run)
+            self._observe_step(t, steps_run, clock() - step_t0)
 
         result = TrainingResult(
             sampler_name=self.sampler.name,

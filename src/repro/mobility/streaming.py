@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.hotpath import hotpath_enabled
 from repro.mobility.trace import MobilityTrace
+from repro.prof import profile_site
 from repro.utils.rng import SeedSequenceFactory
 from repro.utils.validation import check_positive
 
@@ -190,7 +191,10 @@ class StreamingTrace:
         if block is None:
             start = index * self.chunk_steps
             stop = min(start + self.chunk_steps, self.num_steps)
-            block = np.asarray(self.provider.chunk(start, stop), dtype=np.int32)
+            with profile_site("mobility", "chunk_load"):
+                block = np.asarray(
+                    self.provider.chunk(start, stop), dtype=np.int32
+                )
             if block.shape != (stop - start, self.num_devices):
                 raise ValueError(
                     f"provider returned chunk of shape {block.shape}, "
@@ -217,17 +221,20 @@ class StreamingTrace:
         # MobilityTrace._step_index, so member order is identical.
         index = self._membership.get(wrapped)
         if index is None:
-            row = self._row(wrapped)
-            counts = np.bincount(row, minlength=self.num_edges)
-            order = np.argsort(row, kind="stable")
-            bounds = np.concatenate(([0], np.cumsum(counts)))
-            members = [
-                order[bounds[n] : bounds[n + 1]] for n in range(self.num_edges)
-            ]
-            for arr in members:
-                arr.flags.writeable = False
-            counts.flags.writeable = False
-            index = (members, counts)
+            # Same documented trace-scan hotspot as the dense backend.
+            with profile_site("mobility", "membership_index"):
+                row = self._row(wrapped)
+                counts = np.bincount(row, minlength=self.num_edges)
+                order = np.argsort(row, kind="stable")
+                bounds = np.concatenate(([0], np.cumsum(counts)))
+                members = [
+                    order[bounds[n] : bounds[n + 1]]
+                    for n in range(self.num_edges)
+                ]
+                for arr in members:
+                    arr.flags.writeable = False
+                counts.flags.writeable = False
+                index = (members, counts)
             self._membership[wrapped] = index
             while len(self._membership) > self.MEMBERSHIP_CACHE_STEPS:
                 self._membership.popitem(last=False)

@@ -16,6 +16,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.hotpath import hotpath_enabled
+from repro.prof import profile_site
 from repro.utils.rng import RngLike, as_generator
 from repro.utils.validation import check_positive
 
@@ -94,17 +95,22 @@ class MobilityTrace:
         """
         index = self._membership.get(wrapped)
         if index is None:
-            row = self.assignments[wrapped]
-            counts = np.bincount(row, minlength=self.num_edges)
-            order = np.argsort(row, kind="stable")
-            bounds = np.concatenate(([0], np.cumsum(counts)))
-            members = [
-                order[bounds[n] : bounds[n + 1]] for n in range(self.num_edges)
-            ]
-            for arr in members:
-                arr.flags.writeable = False
-            counts.flags.writeable = False
-            index = (members, counts)
+            # The per-step O(population) trace row scan — a documented
+            # city-scale hotspot, self-reported to the continuous
+            # profiler when one is installed (no-op otherwise).
+            with profile_site("mobility", "membership_index"):
+                row = self.assignments[wrapped]
+                counts = np.bincount(row, minlength=self.num_edges)
+                order = np.argsort(row, kind="stable")
+                bounds = np.concatenate(([0], np.cumsum(counts)))
+                members = [
+                    order[bounds[n] : bounds[n + 1]]
+                    for n in range(self.num_edges)
+                ]
+                for arr in members:
+                    arr.flags.writeable = False
+                counts.flags.writeable = False
+                index = (members, counts)
             self._membership[wrapped] = index
             while len(self._membership) > self.MEMBERSHIP_CACHE_STEPS:
                 self._membership.popitem(last=False)
@@ -122,7 +128,8 @@ class MobilityTrace:
         if not 0 <= edge < self.num_edges:
             raise ValueError(f"edge must be in [0, {self.num_edges}), got {edge}")
         if not hotpath_enabled():
-            return np.flatnonzero(self.assignments[self._wrap(t)] == edge)
+            with profile_site("mobility", "row_scan", edge=edge):
+                return np.flatnonzero(self.assignments[self._wrap(t)] == edge)
         return self._step_index(self._wrap(t))[0][edge]
 
     def counts_at(self, t: int) -> np.ndarray:

@@ -15,6 +15,18 @@ Four sinks, composable through one :class:`Observability` handle:
   candidate-level UCB terms, probabilities and indicators —
   seed-replayable offline.
 
+Three continuous layers build on the sinks (PR 9):
+
+- **profiler** (:mod:`repro.obs.profiler`): opt-in hierarchical
+  wall/CPU timing (phase → subsystem → hot-path site) with
+  per-(step, edge) attribution, tracemalloc sampling, hotspot-table and
+  flamegraph export;
+- **resources** (:mod:`repro.obs.resources`): RSS, model-payload bytes
+  per exchange and wait wall-clock, registered as ordinary metrics;
+- **health** (:mod:`repro.obs.health`): declarative rolling-window SLO
+  rules over the metrics registry evaluated into ok/degraded/failing
+  :class:`~repro.obs.health.HealthReport` verdicts.
+
 Determinism contract: every sink observes, none participates.  No obs
 code path reads or advances an engine RNG stream, mutates model or
 sampler state, or contributes to any ``state_dict`` — so an obs-enabled
@@ -40,6 +52,9 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.health import HealthMonitor, HealthReport, HealthRule, default_rules
+from repro.obs.profiler import Profiler
+from repro.obs.resources import ResourceAccountant
 from repro.obs.tracing import NULL_TRACER, NullTracer, Span, SpanTracer
 
 __all__ = [
@@ -59,6 +74,12 @@ __all__ = [
     "MACHAuditTrail",
     "SamplingDecision",
     "ObservedTelemetryRecorder",
+    "Profiler",
+    "ResourceAccountant",
+    "HealthMonitor",
+    "HealthReport",
+    "HealthRule",
+    "default_rules",
 ]
 
 
@@ -83,24 +104,51 @@ class Observability:
         tracer: Optional[SpanTracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         audit: Optional[MACHAuditTrail] = None,
+        profiler: Optional[Profiler] = None,
+        resources: Optional[ResourceAccountant] = None,
+        health: Optional[HealthMonitor] = None,
     ) -> None:
         self.events = events
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
         self.audit = audit
+        self.profiler = profiler
+        self.resources = resources
+        self.health = health
+        if resources is not None and resources.metrics is not metrics:
+            raise ValueError(
+                "resources accountant must share the bundle's metrics "
+                "registry so its families reach the exporters"
+            )
+        if health is not None and health.metrics is not metrics:
+            raise ValueError(
+                "health monitor must share the bundle's metrics registry"
+            )
 
     @classmethod
-    def enabled(cls, events: Optional[EventLog] = None) -> "Observability":
-        """Every sink on: tracer + metrics + audit (+ optional event log).
+    def enabled(
+        cls,
+        events: Optional[EventLog] = None,
+        profiler: Optional[Profiler] = None,
+        health_rules: Optional[list] = None,
+    ) -> "Observability":
+        """Every sink on: tracer + metrics + audit + resources + health
+        (+ optional event log).
 
         The audit trail mirrors into the event log when one is given, so
         the on-disk ``sampling`` events always match the in-memory trail.
+        The profiler stays opt-in even here — continuous profiling is a
+        deliberate choice, not a side effect of turning on obs.
         """
+        metrics = MetricsRegistry()
         return cls(
             events=events,
             tracer=SpanTracer(),
-            metrics=MetricsRegistry(),
+            metrics=metrics,
             audit=MACHAuditTrail(event_log=events),
+            profiler=profiler,
+            resources=ResourceAccountant(metrics),
+            health=HealthMonitor(metrics, rules=health_rules),
         )
 
     @classmethod
@@ -116,6 +164,9 @@ class Observability:
             or self.tracer.enabled
             or self.metrics is not None
             or self.audit is not None
+            or self.profiler is not None
+            or self.resources is not None
+            or self.health is not None
         )
 
     def telemetry_recorder(self) -> ObservedTelemetryRecorder:
@@ -123,6 +174,12 @@ class Observability:
         return ObservedTelemetryRecorder(self)
 
     def close(self) -> None:
-        """Flush and close the owned file-backed sinks (idempotent)."""
+        """Flush and close the owned file-backed sinks (idempotent).
+
+        Also uninstalls the profiler's process-global hook so no
+        instrumentation outlives the bundle.
+        """
+        if self.profiler is not None:
+            self.profiler.deactivate()
         if self.events is not None:
             self.events.close()

@@ -52,11 +52,25 @@ def _label_key(labels: Mapping[str, str]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    # Prometheus text exposition format: label values escape backslash,
+    # double-quote and line-feed (in that order, so the backslashes
+    # introduced for quotes/newlines are not re-escaped).
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    # HELP lines escape backslash and line-feed only.
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
     pairs = list(key) + list(extra)
     if not pairs:
         return ""
-    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    body = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
     return "{" + body + "}"
 
 
@@ -85,7 +99,7 @@ class _Family:
 
     def _header(self) -> List[str]:
         return [
-            f"# HELP {self.name} {self.help}",
+            f"# HELP {self.name} {_escape_help(self.help)}",
             f"# TYPE {self.name} {self.kind}",
         ]
 

@@ -32,14 +32,17 @@ EXECUTOR_KINDS = ("serial", "thread", "process")
 
 
 class WorkerTiming(NamedTuple):
-    """Wall-clock attribution of one executed local-update item.
+    """Wall-clock attribution of one executed unit of local-update work.
 
     Collected only when the caller opts in via
     :meth:`Executor.enable_worker_timings`; ``worker`` names the thread
-    / process (or ``"main"`` for the serial backend) that ran the item,
-    and ``seconds`` is the item's own monotonic-clock duration measured
-    where it ran.  Timings are observability, not results: they never
-    cross into aggregation, RNG streams or checkpoints.
+    / process (or ``"main"`` for the serial backend) that ran the unit,
+    and ``seconds`` is the unit's own monotonic-clock duration measured
+    where it ran.  At ``"item"`` granularity a record covers one device's
+    local-update loop; at ``"round"`` granularity it covers one edge
+    round (or one worker's chunk of it) and ``device`` is ``-1``.
+    Timings are observability, not results: they never cross into
+    aggregation, RNG streams or checkpoints.
     """
 
     step: int
@@ -83,6 +86,7 @@ class Executor(ABC):
     def __init__(self) -> None:
         self._context: Optional[WorkerContext] = None
         self._collect_timings = False
+        self._timing_granularity = "item"
         self._timings: List[WorkerTiming] = []
 
     def bind(self, context: WorkerContext) -> None:
@@ -117,19 +121,40 @@ class Executor(ABC):
 
     # -- worker-timing attribution (observability opt-in) --------------------
 
-    def enable_worker_timings(self) -> None:
-        """Start collecting per-item :class:`WorkerTiming` records.
+    def enable_worker_timings(self, granularity: str = "item") -> None:
+        """Start collecting :class:`WorkerTiming` records.
 
         Off by default: the reference path pays nothing.  When enabled,
-        each backend measures every item where it executes and the
-        caller drains the records with :meth:`drain_worker_timings`
-        after each :meth:`run_step`.
+        each backend measures work where it executes and the caller
+        drains the records with :meth:`drain_worker_timings` after each
+        :meth:`run_step`.
+
+        ``granularity="item"`` times every device's local update
+        individually — full attribution, but it forces the backends off
+        their fused/population-batched round paths, which costs real
+        wall-clock.  ``granularity="round"`` times whole edge rounds
+        (one clock pair per round or per worker chunk) on top of the
+        unchanged fast path — near-zero overhead, per-edge attribution
+        only (``device=-1``).  The continuous profiler uses ``"round"``;
+        span tracing, which needs per-device spans, uses ``"item"``.
+        Calling with ``"item"`` wins over an earlier ``"round"`` call.
         """
+        if granularity not in ("item", "round"):
+            raise ValueError(
+                f"granularity must be 'item' or 'round', got {granularity!r}"
+            )
+        if self._collect_timings and self._timing_granularity == "item":
+            return  # item granularity subsumes round granularity
         self._collect_timings = True
+        self._timing_granularity = granularity
 
     @property
     def collects_worker_timings(self) -> bool:
         return self._collect_timings
+
+    @property
+    def timing_granularity(self) -> str:
+        return self._timing_granularity
 
     def drain_worker_timings(self) -> List[WorkerTiming]:
         """Return and clear the timings accumulated since the last drain."""

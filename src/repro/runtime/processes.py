@@ -59,25 +59,32 @@ def _init_worker(context: WorkerContext) -> None:
 def _run_chunk(
     start_model: np.ndarray,
     items: Tuple[LocalUpdateItem, ...],
-    timed: bool = False,
+    timed: Optional[str] = None,
 ) -> Tuple[List[Tuple[int, LocalUpdateResult]], List[Tuple[int, str, float]]]:
     """Worker-side entry: run a chunk of one round's items serially.
 
-    Returns the ``(device_id, result)`` pairs plus, when ``timed``, the
-    per-item ``(device_id, worker_name, seconds)`` attributions measured
-    on the worker's own monotonic clock (empty otherwise, so the
-    untimed path ships no extra bytes).
+    ``timed`` is ``None`` (off), ``"item"`` or ``"round"``.  Returns the
+    ``(device_id, result)`` pairs plus, when timed, the
+    ``(device_id, worker_name, seconds)`` attributions measured on the
+    worker's own monotonic clock — one record per item at ``"item"``
+    granularity, a single ``device_id=-1`` record covering the whole
+    chunk (still population-batched) at ``"round"`` granularity.  The
+    untimed path ships no extra bytes.
     """
     if _WORKER_CONTEXT is None:  # pragma: no cover - defensive
         raise RuntimeError("worker pool was not initialized with a context")
-    if not timed:
+    if timed is None:
         # Population-batched when the chunk is homogeneous (run_items
         # falls back to the per-item loop otherwise) — each chunk is one
         # stacked forward/backward instead of len(chunk) passes.
         return _WORKER_CONTEXT.run_items(start_model, items), []
     worker = multiprocessing.current_process().name
     clock = time.perf_counter
-    pairs: List[Tuple[int, LocalUpdateResult]] = []
+    if timed == "round":
+        start = clock()
+        pairs = _WORKER_CONTEXT.run_items(start_model, items)
+        return pairs, [(-1, worker, clock() - start)]
+    pairs = []
     timings: List[Tuple[int, str, float]] = []
     for item in items:
         start = clock()
@@ -132,7 +139,7 @@ class ProcessExecutor(Executor):
     def run_step(self, plans: Sequence[EdgeRoundPlan]) -> List[RoundResults]:
         self.context  # fail fast before touching the pool
         pool = self._ensure_pool()
-        timed = self._collect_timings
+        timed = self._timing_granularity if self._collect_timings else None
         pending: List[Tuple[int, Future]] = []
         for index, plan in enumerate(plans):
             for chunk in _chunk(plan.items, self.num_workers):

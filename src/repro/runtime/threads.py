@@ -68,7 +68,19 @@ class ThreadExecutor(Executor):
 
     def _run_round(self, plan: EdgeRoundPlan) -> RoundResults:
         """Round-granular work unit for the population-batched engine."""
-        return self._local_context().run_round(plan)
+        context = self._local_context()
+        if not self._collect_timings:
+            return context.run_round(plan)
+        start = time.perf_counter()
+        result = context.run_round(plan)
+        self._timings.append(
+            WorkerTiming(
+                plan.step, plan.edge, -1,
+                threading.current_thread().name,
+                time.perf_counter() - start,
+            )
+        )
+        return result
 
     def _run_item(
         self, start_model: np.ndarray, item: LocalUpdateItem
@@ -96,7 +108,7 @@ class ThreadExecutor(Executor):
         pool = self._ensure_pool()
         submit = pool.submit
         if (
-            not self._collect_timings
+            (not self._collect_timings or self._timing_granularity == "round")
             and hotpath_enabled()
             and population_batching_enabled()
             and supports_population_batch(self.context.model)

@@ -1,0 +1,8 @@
+"""Make the top-level ``benchmarks/`` tooling importable from tests."""
+
+import sys
+from pathlib import Path
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+if str(BENCHMARKS_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCHMARKS_DIR))

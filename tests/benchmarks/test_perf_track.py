@@ -1,0 +1,212 @@
+"""perf_schema / perf_track: schema validation, adapters, diff semantics."""
+
+import json
+
+import pytest
+
+import perf_schema
+import perf_track
+from perf_schema import PerfCell, load_report, make_report, write_report
+from perf_track import (
+    ADAPTERS,
+    HOST_INSENSITIVE,
+    compare_cells,
+    load_any,
+    metric_direction,
+)
+
+
+class TestPerfCell:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            PerfCell("")
+
+    def test_normalizes_metric_values(self):
+        cell = PerfCell("c", {
+            "identical": True,
+            "sublinear": False,
+            "seconds": 1,
+            "skipped": None,
+        })
+        assert cell.metrics == {
+            "identical": 1.0, "sublinear": 0.0, "seconds": 1.0,
+        }
+        assert all(isinstance(v, float) for v in cell.metrics.values())
+
+    def test_dict_round_trip(self):
+        cell = PerfCell("c", {"seconds": 2.5})
+        assert PerfCell.from_dict(cell.to_dict()) == cell
+
+
+class TestReportEnvelope:
+    def test_make_report_carries_provenance(self):
+        report = make_report("w", [PerfCell("a", {"seconds": 1.0})],
+                             meta={"note": "x"})
+        assert report["schema_version"] == perf_schema.SCHEMA_VERSION
+        assert report["workload"] == "w"
+        assert set(report["host"]) == {
+            "cpu_count", "platform", "python", "numpy",
+        }
+        assert report["meta"] == {"note": "x"}
+
+    def test_duplicate_cell_names_rejected(self):
+        cells = [PerfCell("a"), PerfCell("a")]
+        with pytest.raises(ValueError, match="duplicate"):
+            make_report("w", cells)
+
+    def test_write_load_round_trip(self, tmp_path):
+        report = make_report("w", [PerfCell("a", {"seconds": 1.0})])
+        path = write_report(tmp_path / "sub" / "report.json", report)
+        loaded = load_report(path)
+        assert loaded["workload"] == "w"
+        (cell,) = loaded["cells"]
+        assert cell == PerfCell("a", {"seconds": 1.0})
+
+    def test_load_rejects_foreign_schema_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 99, "cells": []}))
+        with pytest.raises(ValueError, match="schema_version"):
+            load_report(path)
+
+    def test_git_revision_shape(self):
+        revision = perf_schema.git_revision()
+        assert revision is None or (revision and "\n" not in revision)
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize("name", [
+        "train_seconds", "peak_rss_mb", "overhead", "sinks_overhead",
+        "steps_to_target", "late_drops", "unknown_metric",
+    ])
+    def test_lower_is_better(self, name):
+        assert metric_direction(name) == 1
+
+    @pytest.mark.parametrize("name", [
+        "speedup", "steps_per_second", "final_accuracy", "best_accuracy",
+        "identical", "sinks_identical", "sublinear",
+    ])
+    def test_higher_is_better(self, name):
+        assert metric_direction(name) == -1
+
+
+class TestCompareCells:
+    def _rows(self, base, fresh, tolerance=0.10, metrics_filter=None):
+        return compare_cells(
+            [PerfCell("c", base)], [PerfCell("c", fresh)],
+            tolerance, metrics_filter,
+        )
+
+    def test_within_tolerance_is_ok(self):
+        (row,) = self._rows({"seconds": 1.0}, {"seconds": 1.05})
+        assert row["status"] == "ok"
+        assert row["change"] == pytest.approx(0.05)
+
+    def test_slower_seconds_regress(self):
+        (row,) = self._rows({"seconds": 1.0}, {"seconds": 1.5})
+        assert row["status"] == "regressed"
+
+    def test_faster_seconds_improve(self):
+        (row,) = self._rows({"seconds": 1.0}, {"seconds": 0.5})
+        assert row["status"] == "improved"
+
+    def test_direction_flips_for_accuracy(self):
+        (row,) = self._rows({"final_accuracy": 0.8}, {"final_accuracy": 0.6})
+        assert row["status"] == "regressed"
+        (row,) = self._rows({"final_accuracy": 0.6}, {"final_accuracy": 0.8})
+        assert row["status"] == "improved"
+
+    def test_lost_identity_flag_always_regresses(self):
+        (row,) = self._rows({"identical": 1.0}, {"identical": 0.0},
+                            tolerance=0.5)
+        assert row["status"] == "regressed"
+
+    def test_missing_metric_and_cell(self):
+        (row,) = self._rows({"seconds": 1.0}, {})
+        assert row["status"] == "missing"
+        (row,) = compare_cells([PerfCell("gone", {"seconds": 1.0})],
+                               [], 0.1)
+        assert (row["cell"], row["status"]) == ("gone", "missing")
+
+    def test_fresh_only_cells_are_new_not_failures(self):
+        rows = compare_cells([], [PerfCell("added", {"seconds": 1.0})], 0.1)
+        assert [(r["cell"], r["status"]) for r in rows] == [("added", "new")]
+
+    def test_metrics_filter_restricts_comparison(self):
+        rows = self._rows(
+            {"seconds": 1.0, "identical": 1.0},
+            {"seconds": 9.0, "identical": 1.0},
+            metrics_filter=HOST_INSENSITIVE,
+        )
+        assert [r["metric"] for r in rows] == ["identical"]
+        assert rows[0]["status"] == "ok"
+
+    def test_zero_baseline_uses_absolute_scale(self):
+        (row,) = self._rows({"late_drops": 0.0}, {"late_drops": 1.0})
+        assert row["change"] == pytest.approx(1.0)
+        assert row["status"] == "regressed"
+
+
+class TestAdapters:
+    def test_every_committed_baseline_adapts(self):
+        for name in ADAPTERS:
+            path = perf_track.RESULTS_DIR / name
+            assert path.exists(), f"missing committed baseline {name}"
+            workload, cells = load_any(path)
+            assert workload == path.stem
+            assert cells, f"{name} adapted to zero cells"
+            names = [cell.name for cell in cells]
+            assert len(set(names)) == len(names)
+            for cell in cells:
+                assert cell.metrics, f"{cell.name} has no metrics"
+
+    def test_obs_adapter_exposes_gated_metrics(self):
+        _, cells = load_any(perf_track.RESULTS_DIR / "BENCH_obs.json")
+        (cell,) = cells
+        gated = set(cell.metrics) & set(HOST_INSENSITIVE)
+        assert {"identical", "sinks_identical", "profiled_identical",
+                "events", "spans", "metric_families"} <= gated
+        assert "profiler_overhead" in cell.metrics
+
+    def test_canonical_report_loads_without_adapter(self, tmp_path):
+        report = make_report("custom", [PerfCell("a", {"seconds": 1.0})])
+        path = write_report(tmp_path / "fresh.json", report)
+        workload, cells = load_any(path)
+        assert workload == "custom"
+        assert cells == [PerfCell("a", {"seconds": 1.0})]
+
+    def test_unknown_adhoc_file_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_mystery.json"
+        path.write_text(json.dumps({"results": []}))
+        with pytest.raises(ValueError, match="no adapter is registered"):
+            load_any(path)
+
+
+class TestCli:
+    def test_self_diff_of_committed_baseline_passes(self, capsys):
+        baseline = perf_track.RESULTS_DIR / "BENCH_obs.json"
+        rc = perf_track.main([
+            "--fresh", str(baseline), "--baseline", str(baseline),
+        ])
+        assert rc == 0
+        assert "regressed" not in capsys.readouterr().out
+
+    def test_diff_fails_on_regression(self, tmp_path, capsys):
+        base = write_report(
+            tmp_path / "base.json",
+            make_report("w", [PerfCell("a", {"seconds": 1.0})]),
+        )
+        fresh = write_report(
+            tmp_path / "fresh.json",
+            make_report("w", [PerfCell("a", {"seconds": 2.0})]),
+        )
+        rc = perf_track.main([
+            "--fresh", str(fresh), "--baseline", str(base),
+        ])
+        assert rc == 1
+        assert "FATAL" in capsys.readouterr().err
+
+    def test_list_mode_runs(self, capsys):
+        assert perf_track.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ADAPTERS:
+            assert name in out

@@ -122,3 +122,59 @@ class TestRegistry:
 
     def test_empty_registry_renders_empty(self):
         assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestPrometheusConformance:
+    """Label-value/HELP escaping per the Prometheus text exposition format."""
+
+    def test_label_values_escape_quote_backslash_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(
+            1, path='a\\b', name='say "hi"', note="line1\nline2"
+        )
+        (line,) = [
+            l for l in registry.render_prometheus().splitlines()
+            if l.startswith("c_total{")
+        ]
+        assert '\\\\b' in line          # backslash doubled
+        assert '\\"hi\\"' in line       # quotes escaped
+        assert "\\n" in line            # newline as the two chars \n
+        assert "\n" not in line          # never a literal newline mid-line
+
+    def test_escaped_line_is_machine_parseable(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(2, v='x\\y "z"\nw')
+        (line,) = [
+            l for l in registry.render_prometheus().splitlines()
+            if l.startswith("c_total{")
+        ]
+        # Unescape per the exposition format and recover the raw value.
+        body = line[line.index('v="') + 3:line.rindex('"')]
+        unescaped = (
+            body.replace("\\\\", "\x00")
+            .replace('\\"', '"')
+            .replace("\\n", "\n")
+            .replace("\x00", "\\")
+        )
+        assert unescaped == 'x\\y "z"\nw'
+
+    def test_help_text_escapes_backslash_and_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "first\nsecond \\ third").inc()
+        text = registry.render_prometheus()
+        assert "# HELP c_total first\\nsecond \\\\ third" in text.splitlines()
+
+    def test_histogram_renders_literal_plus_inf_bucket(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0,)).observe(5.0)
+        lines = registry.render_prometheus().splitlines()
+        assert 'h_bucket{le="+Inf"} 1' in lines
+        # +Inf must be the literal string, not a float rendering.
+        assert not any("inf" in l and "+Inf" not in l for l in lines)
+
+    def test_plain_label_values_render_unchanged(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.0, edge="3", phase="plan")
+        assert 'g{edge="3",phase="plan"} 1' in (
+            registry.render_prometheus().splitlines()
+        )

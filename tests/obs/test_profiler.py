@@ -1,0 +1,283 @@
+"""Continuous profiler: attribution, exports, transience, bit-identity."""
+
+import copy
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import prof
+from repro.core.mach import MACHSampler
+from repro.obs import Observability, Profiler
+from repro.runtime.base import WorkerTiming
+
+from .conftest import build_obs_trainer
+
+
+@pytest.fixture(autouse=True)
+def clean_global_profiler():
+    """Never leak an installed profiler across tests."""
+    yield
+    prof.set_profiler(None)
+
+
+class TestProfileSiteHook:
+    def test_no_profiler_returns_shared_noop(self):
+        cm_a = prof.profile_site("mobility", "row_scan")
+        cm_b = prof.profile_site("hfl", "edge_aggregate", edge=3)
+        assert cm_a is cm_b  # shared instance: zero allocation when off
+        with cm_a:
+            pass
+
+    def test_active_profiler_records_wall_and_attrs(self):
+        profiler = Profiler().activate()
+        with prof.profile_site("hfl", "edge_aggregate", edge=7):
+            pass
+        profiler.deactivate()
+        (row,) = profiler.hotspot_table()
+        assert (row["subsystem"], row["site"]) == ("hfl", "edge_aggregate")
+        assert row["calls"] == 1
+        assert row["wall_seconds"] >= 0.0
+        assert "7" in row["per_edge_seconds"]
+
+    def test_site_records_even_when_body_raises(self):
+        profiler = Profiler().activate()
+        with pytest.raises(RuntimeError):
+            with prof.profile_site("mobility", "chunk_load"):
+                raise RuntimeError("boom")
+        profiler.deactivate()
+        assert profiler.hotspot_table()[0]["calls"] == 1
+
+    def test_activation_is_scoped_and_idempotent(self):
+        profiler = Profiler()
+        assert prof.get_profiler() is None
+        with profiler:
+            assert prof.get_profiler() is profiler
+            assert profiler.active
+            profiler.activate()  # second activate is a no-op
+            assert prof.get_profiler() is profiler
+        assert prof.get_profiler() is None
+        assert not profiler.active
+
+    def test_deactivate_leaves_foreign_profiler_installed(self):
+        first, second = Profiler(), Profiler()
+        first.activate()
+        second.activate()  # replaces first
+        first.deactivate()  # must not uninstall second
+        assert prof.get_profiler() is second
+        second.deactivate()
+
+
+class TestPhaseAttribution:
+    def test_sites_are_keyed_by_active_phase(self):
+        profiler = Profiler().activate()
+        with profiler.phase_scope("plan"):
+            with prof.profile_site("mobility", "row_scan"):
+                pass
+        with profiler.phase_scope("finish"):
+            with prof.profile_site("mobility", "row_scan"):
+                pass
+        profiler.deactivate()
+        phases = {row["phase"] for row in profiler.hotspot_table()}
+        assert phases == {"plan", "finish"}
+
+    def test_default_phase_is_run(self):
+        profiler = Profiler().activate()
+        with prof.profile_site("mobility", "row_scan"):
+            pass
+        profiler.deactivate()
+        assert profiler.hotspot_table()[0]["phase"] == "run"
+
+    def test_phase_scope_unwinds_on_exception(self):
+        profiler = Profiler()
+        with pytest.raises(ValueError):
+            with profiler.phase_scope("sync"):
+                raise ValueError
+        assert profiler.current_phase == "run"
+
+    def test_record_phase_accumulates_into_table(self):
+        profiler = Profiler()
+        profiler.record_phase("execute", 0.25)
+        profiler.record_phase("execute", 0.75)
+        (row,) = profiler.phase_table()
+        assert row["phase"] == "execute"
+        assert row["calls"] == 2
+        assert row["wall_seconds"] == pytest.approx(1.0)
+        assert profiler.total_phase_seconds() == pytest.approx(1.0)
+
+
+class TestWorkerTimingIngestion:
+    def test_timings_attributed_per_edge_and_worker(self):
+        profiler = Profiler()
+        profiler.begin_step(3)
+        profiler.observe_worker_timings([
+            WorkerTiming(3, 0, 5, "w0", 0.5),
+            WorkerTiming(3, 0, 6, "w1", 0.25),
+            WorkerTiming(3, 1, 7, "w0", 1.0),
+        ])
+        profiler.end_step(3, 2.0)
+        (row,) = profiler.hotspot_table()
+        assert (row["subsystem"], row["site"]) == ("runtime", "device_update")
+        assert row["phase"] == "execute"
+        assert row["per_edge_seconds"]["0"] == pytest.approx(0.75)
+        assert row["per_edge_seconds"]["1"] == pytest.approx(1.0)
+        assert row["per_worker_seconds"]["w0"] == pytest.approx(1.5)
+
+    def test_round_granular_timings_use_edge_attribution(self):
+        # device=-1 marks a whole-round record; only edge/worker matter.
+        profiler = Profiler()
+        profiler.observe_worker_timings([WorkerTiming(0, 2, -1, "main", 0.5)])
+        (row,) = profiler.hotspot_table()
+        assert row["per_edge_seconds"] == {"2": pytest.approx(0.5)}
+
+    def test_step_records_capture_per_edge_seconds(self):
+        profiler = Profiler(max_step_records=4)
+        for step in range(6):
+            profiler.begin_step(step)
+            profiler.observe_worker_timings([
+                WorkerTiming(step, 0, -1, "main", 0.1)
+            ])
+            profiler.end_step(step, 0.2)
+        recent = profiler.to_json()["recent_steps"]
+        assert len(recent) == 4  # bounded ring buffer
+        assert [r["step"] for r in recent] == [2, 3, 4, 5]
+        assert recent[-1]["edges"]["0"] == pytest.approx(0.1)
+
+
+class TestExports:
+    def _populated(self):
+        profiler = Profiler().activate()
+        profiler.record_phase("plan", 0.4)
+        profiler.record_phase("execute", 0.6)
+        with profiler.phase_scope("plan"):
+            with prof.profile_site("mobility", "row_scan", edge=0):
+                pass
+        profiler.observe_worker_timings([WorkerTiming(0, 1, -1, "main", 0.3)])
+        profiler.deactivate()
+        return profiler
+
+    def test_hotspot_share_sums_against_phase_total(self):
+        profiler = self._populated()
+        rows = profiler.hotspot_table()
+        assert rows == sorted(
+            rows, key=lambda r: -r["wall_seconds"]
+        )
+        for row in rows:
+            assert 0.0 <= row["share"] <= 1.0
+
+    def test_json_report_round_trips(self, tmp_path):
+        profiler = self._populated()
+        path = tmp_path / "profile.json"
+        profiler.write_json(path)
+        loaded = json.loads(path.read_text())
+        assert loaded == profiler.to_json()
+        assert {p["phase"] for p in loaded["phases"]} == {"plan", "execute"}
+        assert loaded["config"]["alloc_every"] is None
+
+    def test_collapsed_stack_format(self, tmp_path):
+        profiler = self._populated()
+        lines = profiler.collapsed_stacks()
+        assert all(" " in line for line in lines)
+        for line in lines:
+            frames, value = line.rsplit(" ", 1)
+            assert frames.startswith("run;")
+            assert int(value) >= 0
+        joined = "\n".join(lines)
+        assert "run;execute;runtime;device_update;edge_1" in joined
+        path = tmp_path / "profile.collapsed"
+        profiler.write_collapsed(path)
+        assert path.read_text().rstrip("\n").splitlines() == lines
+
+    def test_phase_self_time_line_present(self):
+        profiler = Profiler()
+        profiler.record_phase("plan", 1.0)  # no sites inside: all self time
+        assert "run;plan 1000000" in profiler.collapsed_stacks()
+
+
+class TestTransience:
+    def _used(self):
+        profiler = Profiler(alloc_every=None, alloc_top=3, max_step_records=7)
+        profiler.record_phase("plan", 1.0)
+        profiler.begin_step(0)
+        profiler.end_step(0, 1.0)
+        return profiler
+
+    def test_deepcopy_drops_records_keeps_config(self):
+        clone = copy.deepcopy(self._used())
+        assert clone.alloc_top == 3
+        assert clone.max_step_records == 7
+        assert clone.phase_table() == []
+        assert clone.to_json()["steps_observed"] == 0
+        assert not clone.active
+
+    def test_pickle_round_trip_starts_empty(self):
+        clone = pickle.loads(pickle.dumps(self._used()))
+        assert clone.alloc_top == 3
+        assert clone.hotspot_table() == []
+        assert clone.to_json()["recent_steps"] == []
+
+
+class TestAllocationSampling:
+    def test_cadence_and_shape(self):
+        profiler = Profiler(alloc_every=2, alloc_top=5).activate()
+        for step in range(5):
+            profiler.begin_step(step)
+            if step == 0:
+                _ = [bytearray(1024) for _ in range(50)]
+            profiler.end_step(step, 0.01)
+        profiler.deactivate()
+        samples = profiler.allocation_samples
+        assert [s["step"] for s in samples] == [0, 2, 4]
+        for sample in samples:
+            assert sample["current_kb"] >= 0
+            assert len(sample["top"]) <= 5
+            for entry in sample["top"]:
+                assert ":" in entry["site"]
+
+    def test_rejects_bad_cadence(self):
+        with pytest.raises(ValueError, match="alloc_every"):
+            Profiler(alloc_every=0)
+
+    def test_respects_foreign_tracemalloc(self):
+        import tracemalloc
+
+        tracemalloc.start()
+        try:
+            profiler = Profiler(alloc_every=1).activate()
+            profiler.deactivate()
+            # The profiler did not start tracing, so it must not stop it.
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+
+class TestEndToEnd:
+    def test_profiled_run_is_bit_identical_and_attributes_hotspots(self):
+        baseline = build_obs_trainer(MACHSampler(), steps=12)
+        history_a = baseline.run(num_steps=12)
+        baseline.close()
+
+        profiler = Profiler()
+        profiled = build_obs_trainer(
+            MACHSampler(), steps=12, obs=Observability(profiler=profiler)
+        )
+        history_b = profiled.run(num_steps=12)
+        profiled.close()
+
+        assert history_a.history.accuracy == history_b.history.accuracy
+        assert history_a.history.loss == history_b.history.loss
+        assert np.array_equal(
+            history_a.participation_counts, history_b.participation_counts
+        )
+        # The trainer uninstalled the profiler on close.
+        assert prof.get_profiler() is None
+
+        sites = {
+            (row["subsystem"], row["site"])
+            for row in profiler.hotspot_table()
+        }
+        assert ("runtime", "device_update") in sites
+        assert ("hfl", "edge_aggregate") in sites
+        assert ("mobility", "membership_index") in sites
+        assert profiler.to_json()["steps_observed"] == 12

@@ -1,0 +1,137 @@
+"""Resource accounting: payload bytes, RSS gauges, wait-time counters."""
+
+import sys
+
+import pytest
+
+from repro.core.mach import MACHSampler
+from repro.obs import MetricsRegistry, Observability, ResourceAccountant
+from repro.obs.resources import current_rss_mb, peak_rss_mb
+
+from .conftest import build_obs_trainer
+
+
+class TestRssProbes:
+    @pytest.mark.skipif(
+        not sys.platform.startswith("linux"), reason="/proc is Linux-only"
+    )
+    def test_current_rss_positive_on_linux(self):
+        value = current_rss_mb()
+        assert value is not None and value > 0
+
+    def test_peak_rss_at_least_current(self):
+        peak = peak_rss_mb()
+        current = current_rss_mb()
+        if peak is None or current is None:
+            pytest.skip("platform lacks an RSS probe")
+        assert peak >= current * 0.5  # same order of magnitude, peak >= now-ish
+        assert peak > 0
+
+
+class TestPayloadAccounting:
+    def test_device_round_ships_downloads_and_uploads(self):
+        metrics = MetricsRegistry()
+        acc = ResourceAccountant(metrics, topology="hierarchical",
+                                 aggregation="ipw")
+        acc.record_device_round(downloads=10, uploads=8, model_bytes=1000)
+        labels = {"exchange": "device_edge", "topology": "hierarchical",
+                  "aggregation": "ipw"}
+        bytes_total = metrics.get("repro_payload_bytes_total")
+        assert bytes_total.value(direction="down", **labels) == 10_000
+        assert bytes_total.value(direction="up", **labels) == 8_000
+        exchanges = metrics.get("repro_payload_exchanges_total")
+        assert exchanges.value(direction="down", **labels) == 10
+        assert exchanges.value(direction="up", **labels) == 8
+
+    def test_sync_and_stale_admit_exchanges(self):
+        metrics = MetricsRegistry()
+        acc = ResourceAccountant(metrics)
+        acc.record_sync(uploads=3, broadcasts=3, model_bytes=500)
+        acc.record_stale_admit(admits=2, model_bytes=500)
+        summary = acc.summary()
+        assert summary["payload_bytes_by_exchange"]["edge_sync/up"] == 1500
+        assert summary["payload_bytes_by_exchange"]["edge_sync/down"] == 1500
+        assert summary["payload_bytes_by_exchange"]["stale_admit/up"] == 1000
+        assert summary["payload_bytes_total"] == 4000
+
+    def test_zero_transfers_record_nothing(self):
+        metrics = MetricsRegistry()
+        acc = ResourceAccountant(metrics)
+        acc.record_device_round(downloads=0, uploads=0, model_bytes=1000)
+        acc.record_stale_admit(admits=0, model_bytes=1000)
+        assert acc.summary()["payload_bytes_total"] == 0
+
+    def test_labels_carry_topology_and_aggregation(self):
+        metrics = MetricsRegistry()
+        acc = ResourceAccountant(metrics, topology="gossip",
+                                 aggregation="gossip_avg")
+        acc.record_sync(uploads=1, broadcasts=0, model_bytes=10)
+        value = metrics.get("repro_payload_bytes_total").value(
+            exchange="edge_sync", direction="up",
+            topology="gossip", aggregation="gossip_avg",
+        )
+        assert value == 10
+
+
+class TestWaitAccounting:
+    def test_waits_accumulate_by_kind(self):
+        acc = ResourceAccountant(MetricsRegistry())
+        acc.record_wait("backoff", 1.5)
+        acc.record_wait("backoff", 0.5)
+        acc.record_wait("stale_admit", 0.25)
+        waits = acc.summary()["wait_seconds"]
+        assert waits["backoff"] == pytest.approx(2.0)
+        assert waits["stale_admit"] == pytest.approx(0.25)
+
+    def test_nonpositive_wait_ignored(self):
+        acc = ResourceAccountant(MetricsRegistry())
+        acc.record_wait("backoff", 0.0)
+        assert acc.summary()["wait_seconds"] == {}
+
+
+class TestMemorySampling:
+    def test_sample_memory_sets_gauges(self):
+        metrics = MetricsRegistry()
+        acc = ResourceAccountant(metrics)
+        sample = acc.sample_memory()
+        if sample["current_mb"] is None:
+            pytest.skip("platform lacks an RSS probe")
+        assert metrics.get("repro_rss_current_mb").value() == pytest.approx(
+            sample["current_mb"]
+        )
+        assert acc.summary()["rss_current_mb"] == pytest.approx(
+            sample["current_mb"]
+        )
+
+
+class TestTrainerIntegration:
+    def test_run_accounts_payloads_and_memory(self):
+        obs = Observability.enabled()
+        trainer = build_obs_trainer(MACHSampler(), steps=10, obs=obs)
+        trainer.run(num_steps=10)
+        trainer.close()
+        summary = obs.resources.summary()
+        # Topology/aggregation labels reflect the trainer's actual pair.
+        assert summary["topology"] == "hierarchical"
+        by_exchange = summary["payload_bytes_by_exchange"]
+        assert by_exchange["device_edge/down"] > 0
+        assert by_exchange["device_edge/up"] > 0
+        assert by_exchange["edge_sync/up"] > 0  # sync_interval=5, 10 steps
+        if summary["rss_current_mb"] is not None:
+            assert summary["rss_current_mb"] > 0
+        # The same numbers flow through the Prometheus exporter.
+        text = obs.metrics.render_prometheus()
+        assert "repro_payload_bytes_total" in text
+        obs.close()
+
+    def test_observability_enabled_wires_shared_registry(self):
+        obs = Observability.enabled()
+        assert obs.resources.metrics is obs.metrics
+        assert obs.health.metrics is obs.metrics
+        obs.close()
+
+    def test_mismatched_registry_rejected(self):
+        metrics = MetricsRegistry()
+        foreign = ResourceAccountant(MetricsRegistry())
+        with pytest.raises(ValueError, match="registry"):
+            Observability(metrics=metrics, resources=foreign)
