@@ -29,7 +29,7 @@ def rng():
 def test_bench_local_update_mlp(benchmark, rng):
     device = Device(0, make_blobs_dataset(60, rng=rng))
     model = build_mlp(16, hidden=(16,), rng=rng)
-    start = model.get_flat()
+    start = model.flat_copy()
     benchmark(
         device.local_update, start, model, 5, 0.05, 8, np.random.default_rng(1)
     )
@@ -39,7 +39,7 @@ def test_bench_local_update_cnn(benchmark, rng):
     dataset = make_synthetic_image_dataset("mnist", 60, image_size=12, rng=rng)
     device = Device(0, dataset)
     model = build_mnist_cnn((1, 12, 12), width=2, hidden=16, rng=rng)
-    start = model.get_flat()
+    start = model.flat_copy()
     benchmark(
         device.local_update, start, model, 5, 0.05, 8, np.random.default_rng(1)
     )

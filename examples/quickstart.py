@@ -1,68 +1,54 @@
 """Quickstart: train one HFL model with MACH on a mobile-device trace.
 
-Builds a small federated scenario end-to-end through the public API —
-Non-IID device datasets, a Markov mobility trace, the paper's CNN at a
-reduced resolution — and runs Algorithm 1 with the MACH sampler,
-printing the accuracy trajectory and the time-to-target-accuracy.
+Describes a small federated scenario — Non-IID device datasets, a
+stay-or-jump Markov mobility trace, the paper's CNN at a reduced
+resolution — as one :class:`ScenarioConfig` and runs Algorithm 1 with
+the MACH sampler through the stable :mod:`repro.api` facade, printing
+the accuracy trajectory and the time-to-target-accuracy.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    HFLConfig,
-    HFLTrainer,
-    MACHSampler,
-    MarkovMobilityModel,
-    build_model,
-    make_federated_task,
-)
+import repro.api as api
 
 
 def main() -> None:
-    # 1) Federated data: 20 mobile devices with long-tailed Non-IID
-    #    class distributions, plus a held-out test set drawn from the
-    #    same global distribution.
-    devices, test = make_federated_task(
-        "mnist",
+    # One ScenarioConfig describes the whole experiment: the federated
+    # workload (20 mobile devices with long-tailed Non-IID class
+    # distributions plus a held-out test set), the mobility model
+    # (each device walks a stay-or-jump Markov chain over 4 edges; the
+    # paper's Telecom-trace substitute is trace_kind="telecom"), and
+    # the Algorithm 1 hyperparameters.
+    scenario = api.ScenarioConfig(
+        task="mnist",
         num_devices=20,
+        num_edges=4,
         samples_per_device=50,
         test_samples=300,
-        image_size=12,   # reduced resolution; None keeps the 28x28 paper shape
-        alpha=0.2,       # Dirichlet concentration: lower = more heterogeneous
-        imbalance=6.0,   # global long-tail ratio between head and tail class
-        rng=0,
-    )
-
-    # 2) Mobility: each device walks a stay-or-jump Markov chain over
-    #    4 edges (the paper's Telecom-trace substitute is also available
-    #    via repro.TelecomTraceGenerator).
-    mobility = MarkovMobilityModel.stay_or_jump(4, stay_probability=0.8, rng=1)
-    trace = mobility.sample_trace(num_steps=150, num_devices=20, rng=2)
-    print(f"trace: {trace.num_devices} devices / {trace.num_edges} edges, "
-          f"handover rate {trace.handover_rate():.2f}")
-
-    # 3) HFL with MACH device sampling (Algorithm 1).
-    config = HFLConfig(
+        image_size=12,         # reduced resolution; None keeps 28x28
+        model_scale="tiny",
+        dirichlet_alpha=0.2,   # lower = more heterogeneous devices
+        imbalance=6.0,         # global head/tail class ratio
+        trace_kind="markov",
+        stay_probability=0.8,
         learning_rate=0.02,
-        local_epochs=5,          # I
+        local_epochs=5,        # I
         batch_size=8,
-        sync_interval=5,         # T_g
+        sync_interval=5,       # T_g
         participation_fraction=0.5,
+        num_steps=150,
+        target_accuracy=0.85,
         seed=3,
     )
-    trainer = HFLTrainer(
-        model_factory=lambda rng: build_model("mnist", (1, 12, 12),
-                                              scale="tiny", rng=rng),
-        device_datasets=devices,
-        trace=trace,
-        sampler=MACHSampler(),
-        config=config,
-        test_dataset=test,
-    )
-    result = trainer.run(num_steps=150, target_accuracy=0.85)
 
-    # 4) Inspect the outcome.
-    print("\nstep  accuracy")
+    # Run it synchronously with MACH device sampling (Algorithm 1).
+    # api.submit(...) runs the same scenario on an in-process
+    # coordinator instead, and `runner serve` + api.attach(url) on a
+    # remote one — see examples/service_quickstart.py.
+    result = api.run_scenario(scenario, sampler="mach")
+
+    # Inspect the outcome.
+    print("step  accuracy")
     for step, acc in zip(result.history.steps, result.history.accuracy):
         print(f"{step:4d}  {acc:.3f}")
     reached = result.time_to_accuracy(0.85)

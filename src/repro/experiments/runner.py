@@ -1,15 +1,23 @@
 """Scenario construction and multi-sampler comparison runs.
 
-Also usable as a CLI for one-off runs with full runtime control::
+Also usable as a CLI, organized into subcommands::
 
-    PYTHONPATH=src python -m repro.experiments.runner \
+    PYTHONPATH=src python -m repro.experiments.runner run \
         --preset blobs-bench --sampler mach --executor process --num-workers 4
+    PYTHONPATH=src python -m repro.experiments.runner serve --port 8765
+    PYTHONPATH=src python -m repro.experiments.runner resume checkpoint.json
+    PYTHONPATH=src python -m repro.experiments.runner bench-smoke
+
+The pre-subcommand flat invocation (flags with no leading subcommand)
+still works as an alias of ``run`` but is deprecated and warns.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -302,14 +310,20 @@ def run_comparison(
 
 
 def build_parser() -> argparse.ArgumentParser:
-    from repro.experiments.config import PRESETS
-    from repro.runtime import EXECUTOR_KINDS
-    from repro.topology import AGGREGATION_STRATEGIES, TOPOLOGY_KINDS
-
+    """The flat single-run parser (the ``run`` subcommand's flag set)."""
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
         description="Run one sampler on one scenario preset.",
     )
+    _add_run_arguments(parser)
+    return parser
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.experiments.config import PRESETS
+    from repro.runtime import EXECUTOR_KINDS
+    from repro.topology import AGGREGATION_STRATEGIES, TOPOLOGY_KINDS
+
     parser.add_argument(
         "--preset", default="blobs-bench", choices=sorted(PRESETS),
         help="scenario preset (default: blobs-bench)",
@@ -502,7 +516,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="shorthand for --log-level quiet (for CI and sweep scripts)",
     )
-    return parser
 
 
 def _scenario_manifest(config: ScenarioConfig) -> Dict[str, object]:
@@ -639,10 +652,10 @@ def _write_obs_outputs(args, obs, echo) -> None:
     obs.close()
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def _run_command(args) -> int:
+    """Execute one configured run (the ``run``/``resume`` subcommands)."""
     from repro.experiments.config import PRESETS
 
-    args = build_parser().parse_args(argv)
     level = "quiet" if args.quiet else args.log_level
     verbosity = {"quiet": 0, "info": 1, "debug": 2}[level]
 
@@ -728,10 +741,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"(step {resume_from.step})"
             )
 
+    # Route through the public facade (lazy: repro.api sits above this
+    # module in the import order).
+    from repro.api import run_scenario
+
     start = time.perf_counter()
-    result = run_single(
+    result = run_scenario(
         config,
-        args.sampler,
+        sampler=args.sampler,
         stop_at_target=args.stop_at_target,
         telemetry=telemetry,
         resume_from=resume_from,
@@ -818,6 +835,155 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     _write_obs_outputs(args, obs, lambda m: echo(m, min_level=2))
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Subcommand dispatch
+
+
+SUBCOMMANDS = ("run", "serve", "resume", "bench-smoke")
+
+_PROG = "repro.experiments.runner"
+
+
+def _serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=f"{_PROG} serve",
+        description="Start the always-on coordinator service over HTTP.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8765,
+        help="listen port, 0 picks a free one (default: 8765)",
+    )
+    parser.add_argument(
+        "--state-dir", default="service-state", metavar="DIR",
+        help="durable run state: manifests, checkpoints, round logs "
+             "(default: service-state)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=5, metavar="K",
+        help="checkpoint live runs every K steps (default: 5)",
+    )
+    parser.add_argument(
+        "--no-recover", action="store_true",
+        help="do not resume interrupted runs found in --state-dir",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="log one line per HTTP request",
+    )
+    return parser
+
+
+def _serve_command(args) -> int:
+    from repro.service import Coordinator, serve
+
+    coordinator = Coordinator(
+        state_dir=args.state_dir, checkpoint_every=args.checkpoint_every
+    )
+    if not args.no_recover:
+        resumed = coordinator.recover()
+        for run_id in resumed:
+            print(f"recovered interrupted run {run_id}")
+    serve(coordinator, host=args.host, port=args.port, verbose=args.verbose)
+    return 0
+
+
+def _bench_smoke_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=f"{_PROG} bench-smoke",
+        description="Smoke-check the coordinator service against the "
+                    "synchronous trainer: same scenario, same seed, the "
+                    "drained-queue service run must be bit-identical.",
+    )
+    parser.add_argument(
+        "--preset", default="blobs-bench",
+        help="scenario preset (default: blobs-bench)",
+    )
+    parser.add_argument(
+        "--sampler", default="mach",
+        help="device-sampling strategy (default: mach)",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=6, metavar="T",
+        help="override num_steps for the smoke run (default: 6)",
+    )
+    return parser
+
+
+def _bench_smoke_command(args) -> int:
+    import tempfile
+
+    from repro.api import run_scenario
+    from repro.service import Coordinator
+
+    reference = run_scenario(
+        preset=args.preset, sampler=args.sampler, num_steps=args.steps
+    )
+    from repro.experiments.config import PRESETS
+
+    config = PRESETS[args.preset].with_overrides(num_steps=args.steps)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-smoke-") as state:
+        with Coordinator(state_dir=state) as coordinator:
+            run_id = coordinator.submit(
+                config, sampler=args.sampler, preset=args.preset
+            )
+            result = coordinator.result(run_id)
+    identical = (
+        reference.final_cloud_model is not None
+        and result.final_cloud_model is not None
+        and np.array_equal(
+            reference.final_cloud_model, result.final_cloud_model
+        )
+    )
+    verdict = "PASS" if identical else "FAIL"
+    print(
+        f"bench-smoke {verdict}: preset={args.preset} "
+        f"sampler={args.sampler} steps={result.steps_run} "
+        f"service run bit-identical to synchronous trainer: {identical}"
+    )
+    return 0 if identical else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        command, rest = argv[0], argv[1:]
+        if command == "serve":
+            return _serve_command(_serve_parser().parse_args(rest))
+        if command == "bench-smoke":
+            return _bench_smoke_command(_bench_smoke_parser().parse_args(rest))
+        if command == "resume":
+            parser = argparse.ArgumentParser(
+                prog=f"{_PROG} resume",
+                description="Resume a single run from a saved checkpoint.",
+            )
+            parser.add_argument(
+                "checkpoint", help="checkpoint file written by a prior run"
+            )
+            _add_run_arguments(parser)
+            args = parser.parse_args(rest)
+            args.resume = args.checkpoint
+            return _run_command(args)
+        parser = argparse.ArgumentParser(
+            prog=f"{_PROG} run",
+            description="Run one sampler on one scenario preset.",
+        )
+        _add_run_arguments(parser)
+        return _run_command(parser.parse_args(rest))
+    # Legacy flat invocation: flags with no leading subcommand.  Kept as
+    # an alias of `run` so existing scripts keep working, but deprecated.
+    warnings.warn(
+        "invoking repro.experiments.runner without a subcommand is "
+        "deprecated; use `python -m repro.experiments.runner run ...`",
+        FutureWarning,
+        stacklevel=2,
+    )
+    return _run_command(build_parser().parse_args(argv))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -71,7 +71,7 @@ class Device:
             # into its canonical flat buffer, so one load_flat installs
             # w^t_n and the fused sgd_lr mode applies every
             # w^{t,τ+1} = w^{t,τ} − γ g step as a single vector op — no
-            # per-τ set_flat_parameters walk.  All I minibatches are
+            # per-τ load_flat walk.  All I minibatches are
             # pre-drawn in one gather; the index draws make the same
             # rng.integers calls in the same order as the reference
             # loop, keeping the random stream bit-identical.
@@ -87,8 +87,8 @@ class Device:
                 losses.append(loss)
             final_model = model.flat_copy()
         else:
-            model.set_flat(start_model)
-            flat = model.get_flat_parameters()
+            model.load_flat(start_model)
+            flat = model.flat_copy()
             for _tau in range(local_epochs):
                 x, y = self.dataset.sample_batch(batch_size, rng=rng)
                 loss, grad = model.loss_and_grad(x, y, loss_fn)
@@ -96,7 +96,7 @@ class Device:
                 losses.append(loss)
                 # w^{t,τ+1} = w^{t,τ} − γ g_m(w^{t,τ}, ξ^{t,τ})
                 flat -= learning_rate * grad
-                model.set_flat_parameters(flat)
+                model.load_flat(flat)
             final_model = flat
         return LocalUpdateResult(
             device_id=self.device_id,

@@ -56,7 +56,7 @@ import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -106,9 +106,48 @@ class TrainingResult:
     #: Churn arrivals / departures over the run (0 for a closed world).
     devices_joined: int = 0
     devices_left: int = 0
+    #: Flat copy of the final cloud model — the bit-identity witness the
+    #: service tests compare against the synchronous trainer.
+    final_cloud_model: Optional[np.ndarray] = None
 
     def time_to_accuracy(self, target: float) -> Optional[int]:
         return self.history.time_to_accuracy(target)
+
+
+@dataclass
+class StepOutcome:
+    """One completed time step, as yielded by :meth:`HFLTrainer.steps`.
+
+    ``accuracy`` / ``loss`` are ``None`` unless this step hit an
+    evaluation point; ``participants`` counts this step's admitted
+    uploads (including late stale admits); ``stop`` marks the step that
+    ended an early-stopping run.
+    """
+
+    step: int
+    steps_run: int
+    participants: int
+    synced: bool
+    evaluated: bool
+    accuracy: Optional[float] = None
+    loss: Optional[float] = None
+    reached_target: bool = False
+    stop: bool = False
+    seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "step": self.step,
+            "steps_run": self.steps_run,
+            "participants": self.participants,
+            "synced": self.synced,
+            "evaluated": self.evaluated,
+            "accuracy": self.accuracy,
+            "loss": self.loss,
+            "reached_target": self.reached_target,
+            "stop": self.stop,
+            "seconds": self.seconds,
+        }
 
 
 @dataclass
@@ -286,6 +325,12 @@ class HFLTrainer:
         self.executor.bind(
             WorkerContext(self.model, self.devices, config.seed)
         )
+        #: Incremental round pipeline (the coordinator service sets this):
+        #: edge rounds are admitted as they complete via
+        #: :meth:`Executor.submit_step` instead of the run_step barrier.
+        #: Finishing stays in plan order, so a drained queue is
+        #: bit-identical to the synchronous barrier path.
+        self.incremental = False
 
         # Observability sinks.  Imported lazily: repro.obs sits above
         # repro.hfl in the dependency order (its bridge subclasses the
@@ -353,6 +398,7 @@ class HFLTrainer:
         self._history = TrainingHistory()
         self._participation_counts = np.zeros(trace.num_devices, dtype=int)
         self._total_participants = 0
+        self._steps_run = 0
         self._reached_at: Optional[int] = None
         # Robustness accounting (checkpointed so resume replays it):
         # simulated sync backoff, staleness-buffer outcomes and churn.
@@ -721,30 +767,85 @@ class HFLTrainer:
             pending = [self._plan_round(t, edge) for edge in self.edges]
             active = [p for p in pending if p is not None]
         t1 = clock()
-        with tracer.span("execute"), self._profile_phase("execute"):
-            step_results = self.executor.run_step([p.plan for p in active])
-            if tracer.enabled or profiler is not None:
-                self._trace_worker_timings()
-        t2 = clock()
-        with tracer.span("finish"), self._profile_phase("finish"):
-            total = sum(
-                self._finish_round(t, p, results)
-                for p, results in zip(active, step_results)
-            )
-            if self._max_staleness > 0:
-                # Late uploads whose deadline extension expires this
-                # step join the post-round edge models.
-                self._admit_stale(t)
-        t3 = clock()
+        if self.incremental:
+            # Incremental round pipeline: edge rounds stream back in
+            # completion order and each is finished the moment every
+            # lower-indexed round has finished — the finish phase of
+            # early rounds overlaps the execute phase of late ones, but
+            # the (edge, member) feedback order is exactly the barrier
+            # path's, so the result is bit-identical.
+            with tracer.span("execute"), self._profile_phase("execute"):
+                total, finish_seconds = self._run_step_incremental(t, active)
+                if tracer.enabled or profiler is not None:
+                    self._trace_worker_timings()
+            t2 = clock()
+            with tracer.span("finish"), self._profile_phase("finish"):
+                if self._max_staleness > 0:
+                    self._admit_stale(t)
+            t3 = clock()
+            execute_seconds = (t2 - t1) - finish_seconds
+            finish_total = finish_seconds + (t3 - t2)
+        else:
+            with tracer.span("execute"), self._profile_phase("execute"):
+                step_results = self.executor.run_step([p.plan for p in active])
+                if tracer.enabled or profiler is not None:
+                    self._trace_worker_timings()
+            t2 = clock()
+            with tracer.span("finish"), self._profile_phase("finish"):
+                total = sum(
+                    self._finish_round(t, p, results)
+                    for p, results in zip(active, step_results)
+                )
+                if self._max_staleness > 0:
+                    # Late uploads whose deadline extension expires this
+                    # step join the post-round edge models.
+                    self._admit_stale(t)
+            t3 = clock()
+            execute_seconds = t2 - t1
+            finish_total = t3 - t2
         if self.telemetry is not None:
             self.telemetry.record_phase("plan", t1 - t0)
-            self.telemetry.record_phase("execute", t2 - t1)
-            self.telemetry.record_phase("finish", t3 - t2)
+            self.telemetry.record_phase("execute", execute_seconds)
+            self.telemetry.record_phase("finish", finish_total)
         if profiler is not None:
             profiler.record_phase("plan", t1 - t0)
-            profiler.record_phase("execute", t2 - t1)
-            profiler.record_phase("finish", t3 - t2)
+            profiler.record_phase("execute", execute_seconds)
+            profiler.record_phase("finish", finish_total)
         return total
+
+    def _run_step_incremental(
+        self, t: int, active: List[_PendingRound]
+    ) -> "tuple[int, float]":
+        """Admit streamed edge rounds, finishing strictly in plan order.
+
+        Out-of-order completions are buffered until their prefix is
+        finished — the admission discipline that keeps a drained queue
+        bit-identical to the barrier path (sampler feedback and edge
+        aggregation happen in exactly the barrier's (edge, member)
+        order).  Returns the participant count and the wall-clock spent
+        in finish work, so the caller can split phase attribution.
+        """
+        clock = time.perf_counter
+        total = 0
+        finish_seconds = 0.0
+        buffered: Dict[int, Dict[int, LocalUpdateResult]] = {}
+        next_index = 0
+        for index, results in self.executor.submit_step(
+            [p.plan for p in active]
+        ):
+            buffered[index] = results
+            while next_index in buffered:
+                f0 = clock()
+                total += self._finish_round(
+                    t, active[next_index], buffered.pop(next_index)
+                )
+                finish_seconds += clock() - f0
+                next_index += 1
+        if next_index != len(active):  # pragma: no cover - executor contract
+            raise RuntimeError(
+                f"executor streamed {next_index} of {len(active)} rounds"
+            )
+        return total, finish_seconds
 
     def _profile_phase(self, name: str):
         """Phase-tagging scope for the profiler (no-op when off)."""
@@ -1031,6 +1132,7 @@ class HFLTrainer:
             self._last_eval_accuracy = (
                 self._history.accuracy[-1] if self._history.accuracy else None
             )
+        self._steps_run = checkpoint.step
         return checkpoint.step
 
     def _observe_step(self, t: int, steps_run: int, seconds: float) -> None:
@@ -1089,6 +1191,63 @@ class HFLTrainer:
         ``resume_from`` (a :class:`~repro.faults.TrainerCheckpoint` or a
         path to one) continues a killed run from its snapshot; the
         resumed run's history is bit-identical to an uninterrupted one.
+
+        A thin driver over :meth:`steps`: it drains the generator and
+        packages the final state with :meth:`result`.
+        """
+        for _ in self.steps(
+            num_steps,
+            target_accuracy=target_accuracy,
+            stop_at_target=stop_at_target,
+            resume_from=resume_from,
+        ):
+            pass
+        return self.result()
+
+    def result(self) -> TrainingResult:
+        """Package the trainer's current run state as a result.
+
+        Callers that drive :meth:`steps` themselves (the coordinator
+        service) call this once the generator is exhausted — or after
+        closing it early — to get the same object :meth:`run` returns.
+        """
+        steps_run = self._steps_run
+        return TrainingResult(
+            sampler_name=self.sampler.name,
+            history=self._history,
+            steps_run=steps_run,
+            participation_counts=self._participation_counts.copy(),
+            mean_participants_per_step=(
+                self._total_participants / steps_run if steps_run else 0.0
+            ),
+            reached_target_at=self._reached_at,
+            simulated_backoff_seconds=self._sim_backoff_seconds,
+            late_admits=self._late_admits,
+            late_drops=self._late_drops,
+            devices_joined=self._devices_joined,
+            devices_left=self._devices_left,
+            final_cloud_model=self.cloud.model.copy(),
+        )
+
+    def steps(
+        self,
+        num_steps: int,
+        target_accuracy: Optional[float] = None,
+        stop_at_target: bool = False,
+        resume_from: Optional[Union[TrainerCheckpoint, str, Path]] = None,
+    ) -> "Iterator[StepOutcome]":
+        """Resumable step generator: yields one :class:`StepOutcome` per
+        completed time step.
+
+        The long-running coordinator service drives this instead of
+        :meth:`run` so it can checkpoint, pause, stream metrics or stop
+        *between* steps while the engine state stays consistent —
+        closing the generator between yields leaves the trainer exactly
+        at the last completed step (snapshot it with
+        :meth:`make_checkpoint`, package it with :meth:`result`).  The
+        training semantics are byte-for-byte the synchronous loop's:
+        the same state reset, the same per-step phase order, the same
+        checkpoint cadence.
         """
         if num_steps <= 0:
             raise ValueError(f"num_steps must be positive, got {num_steps}")
@@ -1143,14 +1302,21 @@ class HFLTrainer:
         clock = time.perf_counter
         tracer = self._tracer
         steps_run = start_step
+        self._steps_run = steps_run
         for t in range(start_step, num_steps):
             if self._profiler is not None:
                 self._profiler.begin_step(t)
             step_t0 = clock()
+            stop_early = False
+            synced = False
+            step_accuracy: Optional[float] = None
+            step_loss: Optional[float] = None
+            participants_before = self._total_participants
             with tracer.span("cloud_step", t=t):
                 self._total_participants += self._train_step(t)
 
                 if t % self.config.sync_interval == 0:
+                    synced = True
                     t0 = clock()
                     with tracer.span(
                         "sync",
@@ -1165,6 +1331,7 @@ class HFLTrainer:
                         self._profiler.record_phase("sync", sync_seconds)
 
                 steps_run = t + 1
+                self._steps_run = steps_run
                 if self._metrics is not None:
                     self._steps_counter.inc()
                 eval_due = (
@@ -1186,6 +1353,7 @@ class HFLTrainer:
                     if self._profiler is not None:
                         self._profiler.record_phase("eval", eval_seconds)
                     history.record(steps_run, accuracy, loss)
+                    step_accuracy, step_loss = accuracy, loss
                     if adaptive_eval:
                         # Plateau (|Δacc| < δ since the last eval)
                         # doubles the gap up to the ceiling; movement
@@ -1218,25 +1386,24 @@ class HFLTrainer:
                     ):
                         self._reached_at = steps_run
                         if stop_at_target:
-                            self._maybe_write_checkpoint(steps_run)
-                            self._observe_step(t, steps_run, clock() - step_t0)
-                            break
+                            stop_early = True
                 self._maybe_write_checkpoint(steps_run)
             self._observe_step(t, steps_run, clock() - step_t0)
+            yield StepOutcome(
+                step=t,
+                steps_run=steps_run,
+                participants=self._total_participants - participants_before,
+                synced=synced,
+                evaluated=step_accuracy is not None,
+                accuracy=step_accuracy,
+                loss=step_loss,
+                reached_target=self._reached_at is not None,
+                stop=stop_early,
+                seconds=clock() - step_t0,
+            )
+            if stop_early:
+                break
 
-        result = TrainingResult(
-            sampler_name=self.sampler.name,
-            history=history,
-            steps_run=steps_run,
-            participation_counts=self._participation_counts.copy(),
-            mean_participants_per_step=self._total_participants / steps_run,
-            reached_target_at=self._reached_at,
-            simulated_backoff_seconds=self._sim_backoff_seconds,
-            late_admits=self._late_admits,
-            late_drops=self._late_drops,
-            devices_joined=self._devices_joined,
-            devices_left=self._devices_left,
-        )
         if self._events is not None:
             self._events.emit(
                 "run_end",
@@ -1244,7 +1411,8 @@ class HFLTrainer:
                 final_accuracy=history.final_accuracy(),
                 best_accuracy=history.best_accuracy(),
                 reached_target_at=self._reached_at,
-                mean_participants_per_step=result.mean_participants_per_step,
+                mean_participants_per_step=(
+                    self._total_participants / steps_run if steps_run else 0.0
+                ),
             )
             self._events.flush()
-        return result

@@ -14,9 +14,9 @@ flat buffer per tensor kind and every layer parameter is a numpy view
 into it: :meth:`Model.load_flat` installs weights with one copy,
 :meth:`Model.flat_copy` exports them, and :meth:`Model.flat_view` /
 :meth:`Model.grad_view` expose the live buffers so a whole-network SGD
-step is a single vector op (``get_flat`` / ``set_flat`` /
-``get_flat_parameters`` / ``set_flat_parameters`` remain as deprecated
-shims).
+step is a single vector op.  The pre-facade aliases (``get_flat`` /
+``set_flat`` / ``get_flat_parameters`` / ``set_flat_parameters``) are
+gone — see README's migration table.
 """
 
 from repro.nn.functional import ConvWorkspace, one_hot, softmax

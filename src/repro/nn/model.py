@@ -21,10 +21,11 @@ deep-copied models (thread-pool clones, process-pool workers) ship
 plain per-parameter arrays and re-alias lazily on their side, exactly
 like :class:`~repro.nn.functional.ConvWorkspace` resets its scratch.
 
-Deprecated surface: ``get_flat`` / ``set_flat`` and the fast-path twins
-``get_flat_parameters`` / ``set_flat_parameters`` are thin shims over
-``flat_copy`` / ``load_flat`` kept for external callers and old
-checkpoints.
+``flat_copy`` / ``load_flat`` are the only parameter-vector surface:
+the pre-facade aliases (``get_flat`` / ``set_flat`` /
+``get_flat_parameters`` / ``set_flat_parameters``) were removed when
+``repro.api`` became the stability contract — see README's migration
+table.
 """
 
 from __future__ import annotations
@@ -175,24 +176,6 @@ class Model:
     def zero_grad(self) -> None:
         """Reset accumulated gradients on every parameter."""
         self._flat_state()[1].fill(0.0)
-
-    # ---- deprecated shims -----------------------------------------------
-
-    def get_flat_parameters(self, out: Optional[np.ndarray] = None) -> np.ndarray:
-        """Deprecated alias of :meth:`flat_copy` (old fast-path name)."""
-        return self.flat_copy(out=out)
-
-    def set_flat_parameters(self, flat: np.ndarray) -> None:
-        """Deprecated alias of :meth:`load_flat` (old fast-path name)."""
-        self.load_flat(flat)
-
-    def get_flat(self) -> np.ndarray:
-        """Deprecated alias of :meth:`flat_copy`."""
-        return self.flat_copy()
-
-    def set_flat(self, flat: np.ndarray) -> None:
-        """Deprecated alias of :meth:`load_flat`."""
-        self.load_flat(flat)
 
     # ---- training helpers ----------------------------------------------
 

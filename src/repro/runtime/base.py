@@ -23,7 +23,7 @@ because every work item derives its own named random stream from
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, NamedTuple, Optional, Sequence
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.runtime.work_items import EdgeRoundPlan, RoundResults, WorkerContext
 
@@ -118,6 +118,31 @@ class Executor(ABC):
         objects inside are fresh every step.  Callers that retain the
         list across steps must copy it.
         """
+
+    def submit_step(
+        self, plans: Sequence[EdgeRoundPlan]
+    ) -> "Iterator[Tuple[int, RoundResults]]":
+        """Yield ``(plan_index, results)`` per round as results complete.
+
+        The streaming twin of :meth:`run_step`: instead of a barrier it
+        hands each edge round back as soon as its items are done, so the
+        caller (the service's incremental round pipeline) can start the
+        finish phase of early rounds while later rounds still compute.
+        Every plan is yielded exactly once; completion *order* is
+        backend-dependent, which is why bit-identity is the caller's
+        job — the trainer buffers out-of-order rounds and finishes in
+        plan order, making a drained queue indistinguishable from the
+        barrier path.
+
+        The default implementation degrades gracefully: it runs the
+        barrier :meth:`run_step` and yields the rounds in plan order
+        (which is also their completion order on the serial backend).
+        Pooled backends may override with true as-completed streaming
+        (the thread backend does).
+        """
+        results = self.run_step(plans)
+        for index in range(len(plans)):
+            yield index, results[index]
 
     # -- worker-timing attribution (observability opt-in) --------------------
 

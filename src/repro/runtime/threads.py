@@ -4,8 +4,12 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor as _ThreadPool
-from typing import List, Optional, Sequence, Tuple
+from concurrent.futures import (
+    Future,
+    ThreadPoolExecutor as _ThreadPool,
+    as_completed,
+)
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -133,6 +137,57 @@ class ThreadExecutor(Executor):
             results[index][device_id] = future.result()
         pending.clear()  # drop future references promptly
         return results
+
+    def submit_step(
+        self, plans: Sequence[EdgeRoundPlan]
+    ) -> Iterator[Tuple[int, RoundResults]]:
+        """Yield edge rounds in true completion order.
+
+        Streams results back so the incremental round pipeline can
+        finish an early-arriving round while the pool still computes the
+        rest.  Both engine branches are covered: on the
+        population-batched path each round is one future and rounds
+        stream out via :func:`as_completed`; on the item-granular path
+        per-device futures stream out and a round is yielded the moment
+        its last item lands.  Empty rounds are complete by definition
+        and yield first.
+        """
+        self.context  # fail fast before touching the pool
+        pool = self._ensure_pool()
+        submit = pool.submit
+        if (
+            (not self._collect_timings or self._timing_granularity == "round")
+            and hotpath_enabled()
+            and population_batching_enabled()
+            and supports_population_batch(self.context.model)
+        ):
+            round_futures = {
+                submit(self._run_round, plan): index
+                for index, plan in enumerate(plans)
+            }
+            for future in as_completed(round_futures):
+                yield round_futures[future], future.result()
+            return
+        results: List[RoundResults] = [{} for _ in plans]
+        remaining = [len(plan.items) for plan in plans]
+        for index, count in enumerate(remaining):
+            if count == 0:
+                yield index, results[index]
+        owner: Dict[Future, Tuple[int, int]] = {}
+        run_item = self._run_item
+        for index, plan in enumerate(plans):
+            start_model = plan.start_model
+            for item in plan.items:
+                owner[submit(run_item, start_model, item)] = (
+                    index,
+                    item.device_id,
+                )
+        for future in as_completed(owner):
+            index, device_id = owner[future]
+            results[index][device_id] = future.result()
+            remaining[index] -= 1
+            if remaining[index] == 0:
+                yield index, results[index]
 
     def close(self) -> None:
         if self._pool is not None:

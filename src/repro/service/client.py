@@ -1,0 +1,164 @@
+"""urllib-based client for a remote coordinator (no new dependencies).
+
+Mirrors the in-process :class:`~repro.service.coordinator.Coordinator`
+surface method for method, returning the same typed objects from
+:mod:`repro.service.types` — ``repro.api.attach(url)`` hands one of
+these out, and :class:`~repro.api.RunHandle` drives either backend
+through the shared vocabulary.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Iterator, List, Optional
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+from repro.experiments.config import ScenarioConfig
+from repro.service.types import RoundStatus, RunResultSummary, RunStatus
+
+
+class ServiceError(RuntimeError):
+    """The coordinator rejected a request (carries the HTTP status)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to a :class:`CoordinatorServer` over HTTP."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> dict:
+        data = None if body is None else json.dumps(body).encode()
+        request = Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode())
+        except HTTPError as error:
+            detail = error.read().decode()
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except (json.JSONDecodeError, AttributeError):
+                pass
+            raise ServiceError(error.code, detail) from None
+
+    # -- coordinator surface -------------------------------------------------
+
+    def api_version(self) -> str:
+        return str(self._request("GET", "/v1/version")["api_version"])
+
+    def submit(
+        self,
+        config: Optional[ScenarioConfig] = None,
+        sampler: str = "mach",
+        seed: Optional[int] = None,
+        stop_at_target: bool = False,
+        preset: Optional[str] = None,
+        overrides: Optional[dict] = None,
+    ) -> str:
+        """Submit a scenario (inline config or preset name); returns run id."""
+        if (config is None) == (preset is None):
+            raise ValueError("provide exactly one of 'config' or 'preset'")
+        body: dict = {
+            "sampler": sampler,
+            "stop_at_target": stop_at_target,
+        }
+        if seed is not None:
+            body["seed"] = seed
+        if overrides:
+            body["overrides"] = overrides
+        if preset is not None:
+            body["preset"] = preset
+        else:
+            body["scenario"] = config.to_dict()
+        return str(self._request("POST", "/v1/runs", body)["run_id"])
+
+    def list_runs(self) -> List[RunStatus]:
+        payload = self._request("GET", "/v1/runs")
+        return [RunStatus.from_dict(entry) for entry in payload["runs"]]
+
+    def status(self, run_id: str) -> RunStatus:
+        return RunStatus.from_dict(self._request("GET", f"/v1/runs/{run_id}"))
+
+    def pause(self, run_id: str) -> RunStatus:
+        return RunStatus.from_dict(
+            self._request("POST", f"/v1/runs/{run_id}/pause")
+        )
+
+    def resume_run(self, run_id: str) -> RunStatus:
+        return RunStatus.from_dict(
+            self._request("POST", f"/v1/runs/{run_id}/resume")
+        )
+
+    def stop(self, run_id: str) -> RunStatus:
+        return RunStatus.from_dict(
+            self._request("POST", f"/v1/runs/{run_id}/stop")
+        )
+
+    def wait(self, run_id: str, timeout: float = 600.0) -> RunStatus:
+        """Poll until the run reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(run_id)
+            if status.terminal:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"run {run_id} still {status.state}")
+            time.sleep(0.1)
+
+    def summary(self, run_id: str) -> RunResultSummary:
+        return RunResultSummary.from_dict(
+            self._request("GET", f"/v1/runs/{run_id}/result")
+        )
+
+    def stream(
+        self, run_id: str, follow: bool = False
+    ) -> Iterator[RoundStatus]:
+        """The run's round metrics as typed objects (JSONL under the hood)."""
+        suffix = "?follow=1" if follow else ""
+        request = Request(self.base_url + f"/v1/runs/{run_id}/rounds{suffix}")
+        timeout = None if follow else self.timeout
+        try:
+            with urlopen(request, timeout=timeout) as response:
+                for raw in response:
+                    line = raw.decode().strip()
+                    if line:
+                        yield RoundStatus.from_dict(json.loads(line))
+        except HTTPError as error:
+            raise ServiceError(error.code, error.read().decode()) from None
+
+    def health(self) -> dict:
+        """The health endpoint's report (verdict / ready / live / rules).
+
+        A failing verdict arrives as HTTP 503 but still carries the
+        full report body, so it is returned rather than raised — the
+        caller inspects ``verdict``/``ready``.
+        """
+        request = Request(self.base_url + "/v1/health")
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode())
+        except HTTPError as error:
+            if error.code == 503:
+                return json.loads(error.read().decode())
+            raise
+
+    def prometheus(self) -> str:
+        request = Request(self.base_url + "/metrics")
+        with urlopen(request, timeout=self.timeout) as response:
+            return response.read().decode()

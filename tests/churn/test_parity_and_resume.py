@@ -276,7 +276,7 @@ class TestRunnerResumeFallback:
             "--preset", "blobs-bench", "--sampler", "uniform",
             "--steps", "8", "--seed", "3",
         ]
-        rc = main(base_args + [
+        rc = main(["run"] + base_args + [
             "--checkpoint-every", "4", "--checkpoint-path", str(path),
             "--quiet",
         ])
@@ -286,7 +286,7 @@ class TestRunnerResumeFallback:
         text = path.read_text()
         path.write_text(text[: len(text) // 2])
         capsys.readouterr()  # drop output from the first run
-        rc = main(base_args + ["--resume", str(path)])
+        rc = main(["resume", str(path)] + base_args)
         assert rc == 0
         out = capsys.readouterr().out
         assert "resuming from the rotated copy" in out

@@ -83,7 +83,7 @@ class TestMakeSyntheticImageDataset:
         x = train.x.reshape(len(train), -1)
         for _ in range(150):
             _l, g = model.loss_and_grad(x, train.y, SoftmaxCrossEntropy())
-            model.set_flat(model.get_flat() - 0.1 * g)
+            model.load_flat(model.flat_copy() - 0.1 * g)
         acc = np.mean(model.predict(test.x.reshape(len(test), -1)) == test.y)
         assert acc > 0.5  # well above the 0.1 chance level
 

@@ -27,7 +27,7 @@ class TestDevice:
             Device(0, empty)
 
     def test_local_update_runs_i_steps(self, device, model):
-        start = model.get_flat()
+        start = model.flat_copy()
         result = device.local_update(start, model, local_epochs=7,
                                      learning_rate=0.05, batch_size=8, rng=0)
         assert len(result.grad_sq_norms) == 7
@@ -37,13 +37,13 @@ class TestDevice:
 
     def test_local_update_reduces_loss_on_average(self, device, model):
         """Eq. (4) descends the local objective."""
-        start = model.get_flat()
+        start = model.flat_copy()
         first = device.local_update(start, model, 10, 0.05, 16, rng=1)
         second = device.local_update(first.final_model, model, 10, 0.05, 16, rng=2)
         assert second.mean_loss < first.mean_loss
 
     def test_local_update_deterministic_under_seed(self, device, model):
-        start = model.get_flat()
+        start = model.flat_copy()
         a = device.local_update(start, model, 3, 0.05, 8, rng=5)
         b = device.local_update(start, model, 3, 0.05, 8, rng=5)
         np.testing.assert_allclose(a.final_model, b.final_model)
@@ -56,7 +56,7 @@ class TestDevice:
         np.testing.assert_allclose(result.final_model, custom, atol=1e-6)
 
     def test_probe_grad_sq_norm(self, device, model):
-        norm = device.probe_grad_sq_norm(model.get_flat(), model, 8, rng=0)
+        norm = device.probe_grad_sq_norm(model.flat_copy(), model, 8, rng=0)
         assert norm > 0
 
     def test_mean_grad_sq_norm(self):
@@ -65,9 +65,9 @@ class TestDevice:
 
     def test_validation(self, device, model):
         with pytest.raises(ValueError):
-            device.local_update(model.get_flat(), model, 0, 0.1, 8)
+            device.local_update(model.flat_copy(), model, 0, 0.1, 8)
         with pytest.raises(ValueError):
-            device.local_update(model.get_flat(), model, 1, -0.1, 8)
+            device.local_update(model.flat_copy(), model, 1, -0.1, 8)
 
 
 class TestEdge:

@@ -192,18 +192,21 @@ class TestCopyReAliasing:
         np.testing.assert_array_equal(cnn.flat_copy(), clone.flat_copy())
 
 
-class TestDeprecatedShims:
-    def test_shims_delegate(self, mlp, rng):
-        new = rng.normal(size=mlp.num_parameters)
-        mlp.set_flat(new)
-        np.testing.assert_array_equal(mlp.get_flat(), new)
-        mlp.set_flat_parameters(new * 2.0)
-        np.testing.assert_array_equal(mlp.get_flat_parameters(), new * 2.0)
-        out = np.empty(mlp.num_parameters)
-        assert mlp.get_flat_parameters(out=out) is out
+class TestDeprecatedShimsRemoved:
+    def test_old_names_are_gone(self, mlp):
+        """The PR-5 era aliases were removed with the repro.api facade:
+        flat_copy / load_flat are the only parameter-vector surface."""
+        for name in (
+            "get_flat",
+            "set_flat",
+            "get_flat_parameters",
+            "set_flat_parameters",
+        ):
+            assert not hasattr(mlp, name)
 
-    def test_error_messages_preserved(self, mlp):
-        with pytest.raises(ValueError, match="flat vector"):
-            mlp.load_flat(np.zeros(3))
-        with pytest.raises(ValueError, match="out buffer"):
-            mlp.flat_copy(out=np.empty(3))
+    def test_canonical_surface(self, mlp, rng):
+        new = rng.normal(size=mlp.num_parameters)
+        mlp.load_flat(new)
+        np.testing.assert_array_equal(mlp.flat_copy(), new)
+        out = np.empty(mlp.num_parameters)
+        assert mlp.flat_copy(out=out) is out

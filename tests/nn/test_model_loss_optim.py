@@ -73,15 +73,15 @@ class TestAccuracy:
 
 class TestModelFlatVector:
     def test_get_set_round_trip(self, small_mlp, rng):
-        flat = small_mlp.get_flat()
+        flat = small_mlp.flat_copy()
         assert flat.shape == (small_mlp.num_parameters,)
         new = rng.normal(size=flat.shape)
-        small_mlp.set_flat(new)
-        np.testing.assert_allclose(small_mlp.get_flat(), new)
+        small_mlp.load_flat(new)
+        np.testing.assert_allclose(small_mlp.flat_copy(), new)
 
     def test_set_flat_rejects_wrong_size(self, small_mlp):
         with pytest.raises(ValueError, match="flat vector"):
-            small_mlp.set_flat(np.zeros(3))
+            small_mlp.load_flat(np.zeros(3))
 
     def test_num_parameters_counts_all(self, rng):
         model = Sequential([Dense(4, 3, rng=rng), ReLU(), Dense(3, 2, rng=rng)])
@@ -90,45 +90,45 @@ class TestModelFlatVector:
     def test_set_flat_changes_forward(self, small_mlp, rng):
         x = rng.normal(size=(2, 6))
         before = small_mlp.forward(x, training=False)
-        small_mlp.set_flat(small_mlp.get_flat() * 2.0)
+        small_mlp.load_flat(small_mlp.flat_copy() * 2.0)
         after = small_mlp.forward(x, training=False)
         assert not np.allclose(before, after)
 
 
 class TestFlatParameterFastPath:
-    def test_matches_get_flat(self, small_mlp):
+    def test_flat_copy_deterministic(self, small_mlp):
         np.testing.assert_array_equal(
-            small_mlp.get_flat_parameters(), small_mlp.get_flat()
+            small_mlp.flat_copy(), small_mlp.flat_copy()
         )
 
     def test_out_buffer_reused(self, small_mlp):
         out = np.empty(small_mlp.num_parameters)
-        returned = small_mlp.get_flat_parameters(out=out)
+        returned = small_mlp.flat_copy(out=out)
         assert returned is out
-        np.testing.assert_array_equal(out, small_mlp.get_flat())
+        np.testing.assert_array_equal(out, small_mlp.flat_copy())
 
     def test_out_buffer_wrong_shape_rejected(self, small_mlp):
         with pytest.raises(ValueError, match="out buffer"):
-            small_mlp.get_flat_parameters(out=np.empty(3))
+            small_mlp.flat_copy(out=np.empty(3))
         with pytest.raises(ValueError, match="out buffer"):
             small_mlp.get_flat_grad(out=np.empty(3))
 
-    def test_set_flat_parameters_round_trip(self, small_mlp, rng):
+    def test_load_flat_round_trip(self, small_mlp, rng):
         new = rng.normal(size=small_mlp.num_parameters)
-        small_mlp.set_flat_parameters(new)
-        np.testing.assert_array_equal(small_mlp.get_flat_parameters(), new)
+        small_mlp.load_flat(new)
+        np.testing.assert_array_equal(small_mlp.flat_copy(), new)
 
-    def test_set_flat_parameters_rejects_wrong_shape(self, small_mlp):
+    def test_load_flat_rejects_wrong_shape(self, small_mlp):
         with pytest.raises(ValueError, match="flat vector"):
-            small_mlp.set_flat_parameters(np.zeros(3))
+            small_mlp.load_flat(np.zeros(3))
 
     def test_layout_cache_tracks_parameter_storage(self, small_mlp, rng):
         """The cached layout aliases live Parameter storage: mutations
         via layer objects must be visible through the fast path."""
-        first = small_mlp.get_flat_parameters()
+        first = small_mlp.flat_copy()
         for p in small_mlp.parameters():
             p.value[...] = p.value + 1.0
-        second = small_mlp.get_flat_parameters()
+        second = small_mlp.flat_copy()
         np.testing.assert_allclose(second, first + 1.0)
 
     def test_grad_fast_path_matches_loss_and_grad(self, small_mlp, rng):
@@ -150,7 +150,7 @@ class TestLossAndGrad:
         x = rng.normal(size=(8, 6))
         y = rng.integers(0, 3, size=8)
         loss0, grad = small_mlp.loss_and_grad(x, y)
-        small_mlp.set_flat(small_mlp.get_flat() - 0.05 * grad)
+        small_mlp.load_flat(small_mlp.flat_copy() - 0.05 * grad)
         loss1, _ = small_mlp.loss_and_grad(x, y)
         assert loss1 < loss0
 
@@ -160,19 +160,19 @@ class TestLossAndGrad:
         x = rng.normal(size=(5, 3))
         y = rng.integers(0, 2, size=5)
         _loss, grad = model.loss_and_grad(x, y)
-        flat = model.get_flat()
+        flat = model.flat_copy()
         eps = 1e-6
         loss_fn = SoftmaxCrossEntropy()
         for i in range(0, flat.size, 7):  # sample every 7th coordinate
             bumped = flat.copy()
             bumped[i] += eps
-            model.set_flat(bumped)
+            model.load_flat(bumped)
             plus = loss_fn.forward(model.forward(x, training=False), y)
             bumped[i] -= 2 * eps
-            model.set_flat(bumped)
+            model.load_flat(bumped)
             minus = loss_fn.forward(model.forward(x, training=False), y)
             assert grad[i] == pytest.approx((plus - minus) / (2 * eps), abs=1e-4)
-        model.set_flat(flat)
+        model.load_flat(flat)
 
 
 class TestPredict:
@@ -291,6 +291,6 @@ class TestArchitectures:
         loss0, _ = model.loss_and_grad(x, y)
         for _ in range(30):
             _loss, grad = model.loss_and_grad(x, y)
-            model.set_flat(model.get_flat() - 0.1 * grad)
+            model.load_flat(model.flat_copy() - 0.1 * grad)
         loss1, _ = model.loss_and_grad(x, y)
         assert loss1 < loss0 * 0.8

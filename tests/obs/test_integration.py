@@ -149,7 +149,7 @@ class TestKillAndResumeWithObs:
 class TestRunnerCLI:
     def run_cli(self, tmp_path, *extra):
         argv = [
-            "--preset", "blobs-bench", "--steps", "4", "--quiet", *extra,
+            "run", "--preset", "blobs-bench", "--steps", "4", "--quiet", *extra,
         ]
         assert runner.main([str(a) for a in argv]) == 0
 
@@ -198,13 +198,14 @@ class TestRunnerCLI:
     def test_log_level_and_quiet_are_exclusive(self, tmp_path):
         with pytest.raises(SystemExit):
             runner.main(
-                ["--preset", "blobs-bench", "--quiet", "--log-level", "debug"]
+                ["run", "--preset", "blobs-bench", "--quiet",
+                 "--log-level", "debug"]
             )
 
     def test_cli_run_is_bit_identical_with_and_without_obs(self, tmp_path, capsys):
         """The same CLI invocation with sinks on and off prints the
         same summary line — accuracy, participants, everything."""
-        argv = ["--preset", "blobs-bench", "--steps", "4"]
+        argv = ["run", "--preset", "blobs-bench", "--steps", "4"]
         assert runner.main(argv) == 0
         plain = capsys.readouterr().out.splitlines()[1]
         assert (

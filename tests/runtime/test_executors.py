@@ -31,7 +31,7 @@ def make_context(num_devices=6, seed=0):
 
 def make_plans(model, num_devices=6, num_edges=2, step=0):
     """Two rounds at one step, splitting the devices across edges."""
-    start = model.get_flat()
+    start = model.flat_copy()
     plans = []
     per_edge = num_devices // num_edges
     for edge in range(num_edges):
@@ -77,7 +77,7 @@ class TestWorkerContext:
         context.devices = list(reversed(context.devices))
         item = LocalUpdateItem(0, 0, 0, 1, 0.05, 4)
         with pytest.raises(ValueError, match="not indexed by id"):
-            context.run_item(model.get_flat(), item)
+            context.run_item(model.flat_copy(), item)
 
     def test_clone_has_private_model(self):
         context, model = make_context()
@@ -86,13 +86,13 @@ class TestWorkerContext:
         assert clone.devices is not context.devices  # fresh list, same members
         assert clone.devices[0] is context.devices[0]
         np.testing.assert_array_equal(
-            clone.model.get_flat(), context.model.get_flat()
+            clone.model.flat_copy(), context.model.flat_copy()
         )
 
     def test_run_item_is_a_pure_function_of_coordinates(self):
         """Same (seed, step, edge, device) → same result, any call order."""
         context, model = make_context()
-        start = model.get_flat()
+        start = model.flat_copy()
         a = LocalUpdateItem(3, 1, 2, 2, 0.05, 4)
         b = LocalUpdateItem(3, 1, 4, 2, 0.05, 4)
         first = context.run_item(start, a)
@@ -103,7 +103,7 @@ class TestWorkerContext:
 
     def test_distinct_coordinates_distinct_streams(self):
         context, model = make_context()
-        start = model.get_flat()
+        start = model.flat_copy()
         base = context.run_item(start, LocalUpdateItem(0, 0, 1, 2, 0.05, 4))
         for step, edge in [(1, 0), (0, 1)]:
             other = context.run_item(
@@ -144,7 +144,7 @@ class TestBackendEquivalence:
         executor = SerialExecutor()
         executor.bind(context)
         assert executor.run_step([]) == []
-        empty_round = EdgeRoundPlan(0, 0, model.get_flat(), ())
+        empty_round = EdgeRoundPlan(0, 0, model.flat_copy(), ())
         assert executor.run_step([empty_round]) == [{}]
 
     def test_executor_reusable_across_steps(self):
@@ -172,7 +172,7 @@ class TestWorkerFailure:
             local_epochs=2, learning_rate=0.05, batch_size=4,
         )
         return EdgeRoundPlan(
-            step=step, edge=edge, start_model=model.get_flat(), items=(item,)
+            step=step, edge=edge, start_model=model.flat_copy(), items=(item,)
         )
 
     def test_process_failure_carries_plan_coordinates(self):

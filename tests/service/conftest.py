@@ -1,0 +1,27 @@
+"""Shared fixtures for the coordinator-service tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import PRESETS, ScenarioConfig
+
+
+def tiny_scenario(**overrides) -> ScenarioConfig:
+    """A seconds-scale blobs scenario for service lifecycle tests."""
+    base = PRESETS["blobs-bench"].with_overrides(
+        num_devices=10,
+        num_edges=3,
+        samples_per_device=20,
+        test_samples=60,
+        local_epochs=2,
+        sync_interval=2,
+        num_steps=6,
+        seed=5,
+    )
+    return base.with_overrides(**overrides) if overrides else base
+
+
+@pytest.fixture
+def scenario() -> ScenarioConfig:
+    return tiny_scenario()

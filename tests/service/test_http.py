@@ -1,0 +1,203 @@
+"""The stdlib HTTP transport: endpoints, client, version handshake.
+
+One background :class:`CoordinatorServer` per test class (port 0 picks
+a free port); everything goes through :class:`ServiceClient` /
+``urllib`` — the same code path a remote user runs, with no test-only
+shortcuts into the coordinator.
+"""
+
+import hashlib
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.api as api
+from repro.experiments.runner import run_single
+from repro.service import (
+    Coordinator,
+    CoordinatorServer,
+    ServiceClient,
+    ServiceError,
+)
+
+from tests.service.conftest import tiny_scenario
+
+
+@pytest.fixture
+def server(tmp_path):
+    coordinator = Coordinator(state_dir=tmp_path / "state")
+    server = CoordinatorServer(coordinator, host="127.0.0.1", port=0)
+    server.serve_background()
+    yield server
+    server.shutdown()
+    coordinator.shutdown()
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.url)
+
+
+class TestEndpoints:
+    def test_version_handshake(self, client):
+        assert client.api_version() == api.API_VERSION
+
+    def test_submit_poll_and_summary(self, client, scenario):
+        run_id = client.submit(config=scenario, sampler="mach")
+        status = client.wait(run_id, timeout=120.0)
+        assert status.state == "completed"
+        assert status.steps_run == scenario.num_steps
+        summary = client.summary(run_id)
+        # Bit-identity across the wire: the SHA-256 of the served final
+        # cloud model matches a local synchronous run.
+        reference = run_single(scenario, "mach")
+        expected = hashlib.sha256(
+            reference.final_cloud_model.tobytes()
+        ).hexdigest()
+        assert summary.cloud_model_sha256 == expected
+        assert summary.history["accuracy"] == list(reference.history.accuracy)
+
+    def test_submit_by_preset_with_overrides(self, client):
+        run_id = client.submit(
+            preset="blobs-bench",
+            sampler="uniform",
+            overrides={"num_steps": 4, "num_devices": 10, "num_edges": 3,
+                       "samples_per_device": 20, "test_samples": 60,
+                       "local_epochs": 2},
+        )
+        status = client.wait(run_id, timeout=120.0)
+        assert status.state == "completed"
+        assert status.steps_run == 4
+        assert status.preset == "blobs-bench"
+
+    def test_list_runs(self, client, scenario):
+        first = client.submit(config=scenario, sampler="uniform")
+        second = client.submit(config=scenario, sampler="mach")
+        client.wait(second, timeout=120.0)
+        runs = client.list_runs()
+        assert [r.run_id for r in runs] == [first, second]
+
+    def test_stream_jsonl_rounds(self, client, scenario):
+        run_id = client.submit(config=scenario, sampler="uniform")
+        rounds = list(client.stream(run_id, follow=True))
+        assert len(rounds) == scenario.num_steps
+        assert [r.steps_run for r in rounds] == list(
+            range(1, scenario.num_steps + 1)
+        )
+        # Non-follow replay returns the same lines from the log.
+        assert list(client.stream(run_id)) == rounds
+
+    def test_pause_resume_stop(self, client):
+        run_id = client.submit(
+            preset="blobs-bench", sampler="uniform",
+            overrides={"num_steps": 400, "num_devices": 10, "num_edges": 3,
+                       "samples_per_device": 20, "test_samples": 60,
+                       "local_epochs": 2},
+        )
+        paused = client.pause(run_id)
+        assert paused.state in ("queued", "paused")
+        resumed = client.resume_run(run_id)
+        assert resumed.state in ("queued", "running")
+        stopped = client.stop(run_id)
+        assert stopped.state in ("running", "stopping", "stopped")
+        final = client.wait(run_id, timeout=120.0)
+        assert final.state == "stopped"
+
+    def test_health_and_prometheus(self, client, scenario):
+        report = client.health()
+        assert report["verdict"] == "ok"
+        run_id = client.submit(config=scenario, sampler="uniform")
+        client.wait(run_id, timeout=120.0)
+        assert client.health()["verdict"] == "ok"
+        text = client.prometheus()
+        assert "# TYPE repro_steps_total counter" in text
+
+
+class TestErrors:
+    def test_unknown_run_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("run-9999")
+        assert excinfo.value.status == 404
+
+    def test_result_of_live_run_is_404(self, client):
+        run_id = client.submit(
+            preset="blobs-bench", sampler="uniform",
+            overrides={"num_steps": 400, "num_devices": 10, "num_edges": 3,
+                       "samples_per_device": 20, "test_samples": 60,
+                       "local_epochs": 2},
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            client.summary(run_id)
+        assert excinfo.value.status == 404
+        client.stop(run_id)
+        client.wait(run_id, timeout=120.0)
+
+    def test_bad_submission_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/v1/runs", {"sampler": "mach"})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client._request(
+                "POST", "/v1/runs",
+                {"preset": "blobs-bench", "sampler": "not-a-sampler"},
+            )
+        assert excinfo.value.status == 400
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(server.url + "/v1/nope", timeout=30)
+        assert excinfo.value.code == 404
+
+
+class TestAttach:
+    def test_attach_verifies_api_version(self, server, scenario):
+        client = api.attach(server.url)
+        run_id = client.submit(config=scenario, sampler="uniform")
+        status = client.wait(run_id, timeout=120.0)
+        assert status.terminal
+
+    def test_attach_rejects_major_mismatch(self, server, monkeypatch):
+        monkeypatch.setattr(api, "API_VERSION", "99.0")
+        with pytest.raises(ServiceError) as excinfo:
+            api.attach(server.url)
+        assert excinfo.value.status == 426
+
+    def test_remote_run_handle_streams_but_hides_result(self, server, scenario):
+        client = api.attach(server.url)
+        run_id = client.submit(config=scenario, sampler="uniform")
+        handle = api.RunHandle(run_id=run_id, _backend=client)
+        status = handle.wait(timeout=120.0)
+        assert status.state == "completed"
+        rounds = list(handle.stream())
+        assert len(rounds) == scenario.num_steps
+        assert handle.summary().cloud_model_sha256
+        with pytest.raises(ServiceError) as excinfo:
+            handle.result()
+        assert excinfo.value.status == 400
+
+
+class TestServedRecovery:
+    def test_server_restart_over_same_state_dir(self, tmp_path, scenario):
+        """submit → complete → restart server → the run is still there."""
+        state = tmp_path / "state"
+        coordinator = Coordinator(state_dir=state)
+        server = CoordinatorServer(coordinator, host="127.0.0.1", port=0)
+        server.serve_background()
+        client = ServiceClient(server.url)
+        run_id = client.submit(config=scenario, sampler="uniform")
+        client.wait(run_id, timeout=120.0)
+        server.shutdown()
+        coordinator.shutdown()
+
+        manifest = json.loads(
+            (state / "runs" / run_id / "run.json").read_text()
+        )
+        assert manifest["state"] == "completed"
+        coordinator = Coordinator(state_dir=state)
+        try:
+            assert coordinator.recover() == []
+            assert coordinator.submit(scenario, sampler="uniform") != run_id
+        finally:
+            coordinator.shutdown()
